@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes the table(s) it regenerates into
+``benchmarks/results/`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from the artifacts.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_tables(results_dir):
+    """Write rendered tables to a named artifact file."""
+
+    def _save(name: str, *tables) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text("\n\n".join(str(table) for table in tables) + "\n")
+
+    return _save

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 10 (strong scaling up to 16 GPUs)."""
+
+from repro.experiments import fig10_scaling
+from repro.hw import (
+    PLATFORM_4X_KEPLER,
+    PLATFORM_4X_PASCAL,
+    PLATFORM_16X_VOLTA,
+)
+
+SWEEPS = (
+    (PLATFORM_4X_KEPLER, (1, 2, 4)),
+    (PLATFORM_4X_PASCAL, (1, 2, 4)),
+    (PLATFORM_16X_VOLTA, (1, 2, 4, 8, 16)),
+)
+
+
+def test_fig10_scaling(benchmark, save_tables):
+    result = benchmark.pedantic(
+        fig10_scaling.run, kwargs={"sweeps": SWEEPS}, rounds=1, iterations=1)
+    save_tables("fig10_scaling", *result.tables())
+
+    # With only two GPUs, performance is insensitive to the transfer
+    # method (paper Section V-D).
+    for platform in ("4x_kepler", "4x_pascal", "16x_volta"):
+        ratio = result.proact_advantage(platform, 2)
+        assert 0.9 <= ratio <= 1.3
+
+    # PROACT's advantage over cudaMemcpy grows with GPU count on the
+    # 16-GPU system (paper: 1.2x / 2.2x / 5.3x at 4 / 8 / 16 GPUs).
+    adv4 = result.proact_advantage("16x_volta", 4)
+    adv8 = result.proact_advantage("16x_volta", 8)
+    adv16 = result.proact_advantage("16x_volta", 16)
+    assert adv4 < adv8 < adv16
+    assert adv16 >= 3.0
+
+    # cudaMemcpy scaling flattens/regresses while PROACT keeps scaling.
+    memcpy16 = result.at("16x_volta", 16, "cudaMemcpy")
+    memcpy8 = result.at("16x_volta", 8, "cudaMemcpy")
+    assert memcpy16 <= memcpy8 * 1.05
+    proact16 = result.at("16x_volta", 16, "PROACT")
+    assert proact16 > 2 * result.at("16x_volta", 4, "PROACT")
+
+    # Paper headline: ~11x at 16 GPUs, within 77 % of the limit.
+    assert 9.0 <= proact16 <= 14.0
+    assert result.capture("16x_volta", 16) >= 0.7
+
+    # On PCIe-limited Kepler, transfer overheads bite earliest: the
+    # memcpy curve is already far from linear at 4 GPUs.
+    assert result.at("4x_kepler", 4, "cudaMemcpy") < 2.0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 2 (goodput vs. store granularity)."""
+
+import pytest
+
+from repro.experiments import fig2_goodput
+from repro.interconnect import NVLINK_FORMAT, PCIE3_FORMAT, saturation_size
+
+
+def test_fig2_goodput(benchmark, save_tables):
+    result = benchmark.pedantic(fig2_goodput.run, rounds=1, iterations=1)
+    save_tables("fig2_goodput", result.table())
+
+    anchors = result.anchor_points()
+    # Paper: 4-byte stores reach ~14 % goodput on PCIe, ~8 % on NVLink.
+    assert anchors["PCIe"] == pytest.approx(0.14, abs=0.02)
+    assert anchors["NVLink"] == pytest.approx(0.08, abs=0.02)
+    # Paper: both interconnects become efficient at >= 128 bytes.
+    assert saturation_size(PCIE3_FORMAT) == 128
+    assert saturation_size(NVLINK_FORMAT) == 128
+    # Curves are monotone non-decreasing across the sweep.
+    for points in result.curves.values():
+        fractions = [p.goodput_fraction for p in points]
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))

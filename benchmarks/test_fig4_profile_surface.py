@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 4 (profiling surface on Kepler)."""
+
+from repro.experiments import fig4_profile
+from repro.units import KiB, MiB
+
+
+def test_fig4_profile_surface(benchmark, save_tables):
+    threads = (32, 128, 512, 2048)
+    sizes = (16 * KiB, 256 * KiB, 4 * MiB, 64 * MiB)
+    result = benchmark.pedantic(
+        fig4_profile.run,
+        kwargs={"threads": threads, "sizes": sizes,
+                "data_bytes": 32 * MiB},
+        rounds=1, iterations=1)
+    save_tables("fig4_profile_surface", result.table())
+
+    best_threads, best_size = result.best_cell()
+    # Paper: >= 128 threads are needed to saturate the interconnect, and
+    # the best granularities sit in the middle of the range.
+    assert best_threads >= 128
+    assert 16 * KiB <= best_size <= 4 * MiB
+    # Starving the agent (32 threads) must hurt at every granularity.
+    for size in sizes:
+        assert (result.throughput[(32, size)]
+                < result.throughput[(best_threads, size)])
+    # Beyond saturation, adding threads stops helping (within 10 %).
+    assert (result.throughput[(2048, best_size)]
+            <= result.throughput[(512, best_size)] * 1.10)

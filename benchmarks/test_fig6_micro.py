@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 6 (microbenchmark speedup vs granularity)."""
+
+from repro.core import MECH_CDP, MECH_POLLING
+from repro.experiments import fig6_micro
+from repro.units import KiB, MiB
+
+GRANULARITIES = (4 * KiB, 16 * KiB, 256 * KiB, 1 * MiB, 16 * MiB, 64 * MiB)
+
+
+def test_fig6_micro(benchmark, save_tables):
+    result = benchmark.pedantic(
+        fig6_micro.run,
+        kwargs={"granularities": GRANULARITIES, "data_bytes": 64 * MiB},
+        rounds=1, iterations=1)
+    save_tables("fig6_micro", *result.tables())
+
+    for platform in result.platforms:
+        cdp = result.regions(platform, MECH_CDP)
+        # The three regions of the paper's Figure 6: initiation-bound at
+        # tiny chunks, a bandwidth-bound peak, and tail-bound decline.
+        assert cdp["initiation"] < cdp["peak"]
+        assert cdp["tail"] < cdp["peak"]
+        # In the bandwidth-bound region, proactive transfers beat
+        # cudaMemcpy by up to ~2x (ideal overlap bound).
+        assert 1.3 < cdp["peak"] < 2.0
+
+    # Kepler: polling substantially underperforms both cudaMemcpy and
+    # CDP due to wasted poll-loop resources (Section V-A).
+    kepler_poll = result.regions("4x_kepler", MECH_POLLING)
+    assert kepler_poll["peak"] < 1.0
+    assert kepler_poll["peak"] < result.peak("4x_kepler", MECH_CDP)
+
+    # Pascal and Volta: polling is competitive at (nearly) all
+    # granularities, with a peak comparable to or above CDP's.
+    for platform in ("4x_pascal", "4x_volta"):
+        assert result.peak(platform, MECH_POLLING) > 1.4
+        # CDP is initiation-bound at 4 kB chunks on these parts.
+        assert result.speedups[(platform, MECH_CDP, 4 * KiB)] < 1.0
+
+    # Volta has the worst CDP initiation cost of the three platforms.
+    assert (result.speedups[("4x_volta", MECH_CDP, 16 * KiB)]
+            < result.speedups[("4x_pascal", MECH_CDP, 16 * KiB)]
+            < result.speedups[("4x_kepler", MECH_CDP, 16 * KiB)])

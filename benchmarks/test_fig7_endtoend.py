@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figure 7 (4-GPU speedups per app and paradigm)."""
+
+from repro.experiments import fig7_endtoend
+from repro.experiments.report import geometric_mean
+
+
+def test_fig7_endtoend(benchmark, save_tables):
+    result = benchmark.pedantic(fig7_endtoend.run, rounds=1, iterations=1)
+    save_tables("fig7_endtoend", *result.tables())
+
+    proact_means = []
+    captures = []
+    for platform in result.platforms:
+        proact = result.proact_geomean(platform)
+        memcpy = result.geomean(platform, "cudaMemcpy")
+        infinite = result.geomean(platform, "Infinite BW")
+        proact_means.append(proact)
+        captures.append(result.opportunity_capture(platform))
+        # PROACT beats bulk DMA duplication on every platform.
+        assert proact > memcpy
+        # Nothing beats the theoretical limit.
+        assert proact <= infinite + 1e-9
+        # UM is the weakest paradigm on average (paper Section V-B).
+        assert result.geomean(platform, "UM") < proact
+
+    # Headline: ~3.0x geomean across generations, ~83% of the 3.6x limit.
+    overall = geometric_mean(proact_means)
+    assert 2.6 <= overall <= 3.4
+    assert sum(captures) / len(captures) >= 0.75
+
+    # The infinite-BW opportunity averages ~3.6x (load imbalance).
+    infinite_overall = geometric_mean(
+        [result.geomean(p, "Infinite BW") for p in result.platforms])
+    assert 3.4 <= infinite_overall <= 3.9
+
+    # Per-app mechanism ordering on Volta (Table II's split): decoupled
+    # wins the irregular apps, inline wins the dense-write apps.
+    for app in ("Pagerank", "SSSP", "ALS"):
+        assert (result.speedups[("4x_volta", app, "PROACT-decoupled")]
+                > result.speedups[("4x_volta", app, "PROACT-inline")])
+    for app in ("X-ray CT", "Jacobi"):
+        assert (result.speedups[("4x_volta", app, "PROACT-inline")]
+                > result.speedups[("4x_volta", app, "cudaMemcpy")])
+
+    # Pagerank is the worst app for bulk duplication (paper: it can even
+    # underperform a single GPU).
+    for platform in result.platforms:
+        pagerank = result.speedups[(platform, "Pagerank", "cudaMemcpy")]
+        others = [result.speedups[(platform, app, "cudaMemcpy")]
+                  for app in result.workloads if app != "Pagerank"]
+        assert pagerank < min(others)
+
+    # UM with hints can beat cudaMemcpy for Jacobi on fault-capable GPUs
+    # (paper Section V-B), because it migrates only touched pages.
+    for platform in ("4x_pascal", "4x_volta"):
+        assert (result.speedups[(platform, "Jacobi", "UM")]
+                > result.speedups[(platform, "Jacobi", "cudaMemcpy")])

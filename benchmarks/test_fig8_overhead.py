@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (tracking-instrumentation slowdown)."""
+
+from repro.experiments import fig8_overhead
+
+
+def test_fig8_overhead(benchmark, save_tables):
+    result = benchmark.pedantic(fig8_overhead.run, rounds=1, iterations=1)
+    save_tables("fig8_overhead", result.table())
+
+    # Paper: overhead averages 10-15 % depending on platform.
+    for platform in result.platforms:
+        assert 0.02 <= result.mean(platform) <= 0.25
+    # Paper: variation is significant — negligible up to ~40 %, with
+    # Pagerank the worst case.
+    _platform, workload, worst = result.max_overhead()
+    assert workload == "Pagerank"
+    assert 0.2 <= worst <= 0.55
+    dense_apps = ("X-ray CT", "Jacobi")
+    for platform in result.platforms:
+        for app in dense_apps:
+            # Long-CTA dense kernels pay little for tracking.
+            assert result.overhead[(platform, app)] < 0.12

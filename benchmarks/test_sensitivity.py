@@ -1,0 +1,14 @@
+"""Benchmark: sensitivity of the conclusions to the calibration."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_conclusions_robust(benchmark, save_tables):
+    result = benchmark.pedantic(sensitivity.run, rounds=1, iterations=1)
+    save_tables("sensitivity", result.table())
+    broken = [row.name for row in result.rows if not row.conclusions_hold]
+    assert not broken, f"conclusions broke under: {broken}"
+    baseline = result.rows[0]
+    assert baseline.name == "baseline"
+    # The headline gap is wide: PROACT leads memcpy by >20 % at baseline.
+    assert baseline.proact > 1.2 * baseline.memcpy

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (evaluated system characteristics)."""
+
+from repro.experiments import table1_systems
+
+
+def test_table1_systems(benchmark, save_tables):
+    result = benchmark.pedantic(table1_systems.run, rounds=1, iterations=1)
+    save_tables("table1_systems", result.table())
+
+    names = [platform.name for platform in result.platforms]
+    assert names == ["4x_kepler", "4x_pascal", "4x_volta", "16x_volta"]
+    rendered = str(result.table())
+    for fragment in ("Tesla K40m", "Tesla P100", "Tesla V100",
+                     "PCIe3", "NVLink", "NVSwitch"):
+        assert fragment in rendered

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Auto-tuning walkthrough: PROACT's compile-time profiler on Jacobi.
+
+Mirrors the paper's Section III-A: sweep transfer mechanism, chunk
+granularity, and transfer-thread count for one application/platform pair,
+print the whole profile, and report the configuration the framework would
+bake into the compiled binary (one cell of Table II).
+
+Run:  python examples/autotune_jacobi.py [platform]
+      (platform defaults to 4x_pascal; see repro.hw.PLATFORMS)
+"""
+
+import sys
+
+from repro.core import Profiler
+from repro.experiments.report import TextTable
+from repro.hw import platform_by_name
+from repro.units import KiB, MiB, format_time
+from repro.workloads import JacobiWorkload
+
+
+def main() -> None:
+    platform_name = sys.argv[1] if len(sys.argv) > 1 else "4x_pascal"
+    platform = platform_by_name(platform_name)
+    workload = JacobiWorkload()
+
+    profiler = Profiler(
+        platform,
+        chunk_sizes=(16 * KiB, 128 * KiB, 1 * MiB, 4 * MiB),
+        thread_counts=(256, 1024, 2048, 4096),
+    )
+    print(f"Profiling {workload.name} on {platform.name} "
+          f"(coordinate-descent search)...\n")
+    profile = profiler.profile(workload.phase_builder())
+
+    table = TextTable(
+        title=f"Profile: {workload.name} on {platform.name}",
+        columns=["configuration", "runtime"])
+    for entry in sorted(profile.entries, key=lambda e: e.runtime):
+        table.add_row(entry.config.label(), format_time(entry.runtime))
+    print(table)
+
+    best = profile.best
+    print(f"\nChosen configuration (Table II cell): {best.config.label()}"
+          f" at {format_time(best.runtime)}")
+    for mechanism in ("inline", "polling", "cdp"):
+        entry = profile.best_for_mechanism(mechanism)
+        print(f"  best {mechanism:8s}: {entry.config.label():20s} "
+              f"{format_time(entry.runtime)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: run one application under every communication paradigm.
+
+Builds the paper's 4x Volta system, runs PageRank under cudaMemcpy
+duplication, Unified Memory, PROACT-inline, PROACT-decoupled, and the
+infinite-bandwidth limit, and prints the speedups over a single GPU —
+one row of the paper's Figure 7.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.report import TextTable
+from repro.hw import PLATFORM_4X_VOLTA
+from repro.paradigms import (
+    BulkMemcpyParadigm,
+    InfiniteBandwidthParadigm,
+    ProactDecoupledParadigm,
+    ProactInlineParadigm,
+    UnifiedMemoryParadigm,
+)
+from repro.units import format_time
+from repro.workloads import PageRankWorkload
+
+
+def main() -> None:
+    platform = PLATFORM_4X_VOLTA
+    workload = PageRankWorkload()
+    print(f"Running {workload.name} on {platform.num_gpus}x "
+          f"{platform.gpu.name} ({platform.interconnect.name})\n")
+
+    single_gpu = InfiniteBandwidthParadigm().execute(
+        workload, platform.with_num_gpus(1))
+    print(f"single-GPU reference: {format_time(single_gpu.runtime)}\n")
+
+    table = TextTable(
+        title=f"{workload.name} on {platform.name}",
+        columns=["paradigm", "runtime", "speedup", "wire efficiency"])
+    for paradigm in (BulkMemcpyParadigm(), UnifiedMemoryParadigm(),
+                     ProactInlineParadigm(), ProactDecoupledParadigm(),
+                     InfiniteBandwidthParadigm()):
+        result = paradigm.execute(workload, platform)
+        efficiency = result.interconnect_efficiency
+        table.add_row(
+            paradigm.name,
+            format_time(result.runtime),
+            f"{single_gpu.runtime / result.runtime:.2f}x",
+            f"{efficiency:.0%}" if efficiency else "n/a")
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

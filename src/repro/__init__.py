@@ -1,0 +1,64 @@
+"""PROACT reproduction: automatic optimization of fine-grained multi-GPU
+transfers (Muthukrishnan et al., ISCA 2021) on a simulated multi-GPU
+substrate.
+
+Quickstart::
+
+    from repro import System, ProactConfig, Profiler
+    from repro.workloads import PageRankWorkload
+    from repro.paradigms import ProactDecoupledParadigm
+    from repro.hw import PLATFORM_4X_VOLTA
+
+    result = ProactDecoupledParadigm().execute(
+        PageRankWorkload(), PLATFORM_4X_VOLTA)
+    print(result.runtime, result.interconnect_efficiency)
+
+See ``repro.experiments`` for the harnesses that regenerate every table
+and figure from the paper's evaluation.
+"""
+
+from repro.core import (
+    GpuPhaseWork,
+    MECH_CDP,
+    MECH_INLINE,
+    MECH_POLLING,
+    ProactConfig,
+    ProactPhaseExecutor,
+    ProactRegion,
+    Profiler,
+    ReadinessTracker,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProactError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.hw import PLATFORMS, PlatformSpec, platform_by_name
+from repro.runtime import KernelSpec, System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "KernelSpec",
+    "ProactConfig",
+    "ProactRegion",
+    "ProactPhaseExecutor",
+    "ReadinessTracker",
+    "Profiler",
+    "GpuPhaseWork",
+    "MECH_INLINE",
+    "MECH_POLLING",
+    "MECH_CDP",
+    "PlatformSpec",
+    "PLATFORMS",
+    "platform_by_name",
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "ProactError",
+    "WorkloadError",
+    "__version__",
+]

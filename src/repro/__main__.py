@@ -1,0 +1,13 @@
+"""``python -m repro`` — regenerate the paper's evaluation.
+
+Flags:
+    --full   use the paper's full microbenchmark size and profiler grids
+             (slower; defaults to the quick configuration).
+"""
+
+from repro.experiments.runner import run_all
+
+if __name__ == "__main__":
+    import sys
+
+    run_all(quick="--full" not in sys.argv)

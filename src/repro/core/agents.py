@@ -1,0 +1,149 @@
+"""Decoupled transfer agents: shared machinery (Section III-C).
+
+A decoupled agent moves ready chunks from a producer GPU's staging region
+to every destination GPU.  Two effects bound its throughput:
+
+* the interconnect itself (modelled by the fabric's links), and
+* the agent's *copy bandwidth* — how fast its transfer threads can issue
+  remote stores, ``threads * spec.copy_thread_bandwidth``.  This is what
+  the paper's Figure 4 sweeps: too few transfer threads starve the link.
+
+The copy bandwidth is modelled as a zero-overhead *throttle link*
+prepended to each destination route, shared by all of the agent's
+transfers (the threads are one pool).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ProactConfig
+from repro.errors import ProactError
+from repro.interconnect.link import Link
+from repro.interconnect.packet import PacketFormat
+from repro.interconnect.route import Route
+from repro.sim.events import Event
+from repro.units import MiB
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.system import System
+
+#: Framing of the agent's internal staging pipe: pure payload, no headers.
+THROTTLE_FORMAT = PacketFormat(
+    name="agent-throttle", header_bytes=0, payload_granule=1,
+    max_payload=4 * MiB)
+
+#: Remote stores from a decoupled agent are tightly packed (Listing 1:
+#: "tightly packed SM store instructions"), so they ride the interconnect
+#: at maximum-payload efficiency.
+AGENT_ACCESS_SIZE = 256
+
+
+@dataclass
+class AgentStats:
+    """What one agent moved during a phase."""
+
+    chunks_sent: int = 0
+    bytes_sent: int = 0
+    sends_issued: int = 0
+    per_destination_bytes: Dict[int, int] = field(default_factory=dict)
+
+
+class DecoupledAgent:
+    """Base class for polling and CDP transfer agents on one GPU."""
+
+    def __init__(self, system: "System", src_id: int,
+                 config: ProactConfig, destinations: List[int],
+                 elide_transfers: bool = False,
+                 peer_fraction: float = 1.0) -> None:
+        if not destinations:
+            raise ProactError("agent needs at least one destination GPU")
+        if src_id in destinations:
+            raise ProactError("agent cannot target its own GPU")
+        if not 0.0 < peer_fraction <= 1.0:
+            raise ProactError(f"peer fraction out of (0, 1]: {peer_fraction}")
+        self.system = system
+        self.src_id = src_id
+        self.config = config
+        self.destinations = list(destinations)
+        self.elide_transfers = elide_transfers
+        self.peer_fraction = peer_fraction
+        self.stats = AgentStats()
+        engine = system.engine
+        spec = system.devices[src_id].spec
+        copy_bandwidth = (config.transfer_threads
+                          * spec.copy_thread_bandwidth)
+        self._throttle = Link(
+            engine, f"gpu{src_id}.agent-throttle", copy_bandwidth,
+            THROTTLE_FORMAT, quantum=system.fabric.quantum)
+        self._routes: Dict[int, Route] = {}
+        for dst in self.destinations:
+            if system.fabric.infinite:
+                self._routes[dst] = system.fabric.route(src_id, dst)
+            else:
+                fabric_route = system.fabric.route(src_id, dst)
+                self._routes[dst] = Route(
+                    engine, src_id, dst,
+                    [self._throttle, *fabric_route.links],
+                    fabric_route.latency)
+        self._outstanding = 0
+        self._closed = False
+        self._drained: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Chunk intake (called from readiness milestones)
+    # ------------------------------------------------------------------
+    def chunk_ready(self, nbytes: int) -> None:
+        """Hand the agent a ready chunk for broadcast to all destinations."""
+        if self._closed:
+            raise ProactError("chunk_ready() after close()")
+        if nbytes < 1:
+            raise ProactError(f"chunk must be >= 1 byte: {nbytes}")
+        self._dispatch(nbytes)
+        self.stats.chunks_sent += 1
+
+    def close(self) -> Event:
+        """No more chunks will arrive; returns the all-sent event."""
+        self._closed = True
+        if self._drained is None:
+            self._drained = Event(self.system.engine)
+            if self._outstanding == 0:
+                self._drained.succeed()
+        return self._drained
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _dispatch(self, nbytes: int) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Transfer plumbing
+    # ------------------------------------------------------------------
+    def _begin_send(self) -> None:
+        self._outstanding += 1
+
+    def _end_send(self) -> None:
+        self._outstanding -= 1
+        if (self._closed and self._outstanding == 0
+                and self._drained is not None
+                and not self._drained.triggered):
+            self._drained.succeed()
+
+    def _send_chunk(self, nbytes: int):
+        """Generator: send one chunk's per-peer share to every destination."""
+        per_dest_bytes = max(1, round(nbytes * self.peer_fraction))
+        sends = []
+        for dst in self.destinations:
+            self.stats.sends_issued += 1
+            self.stats.bytes_sent += per_dest_bytes
+            per_dst = self.stats.per_destination_bytes
+            per_dst[dst] = per_dst.get(dst, 0) + per_dest_bytes
+            if self.elide_transfers:
+                continue
+            sends.append(
+                self._routes[dst].transfer(per_dest_bytes, AGENT_ACCESS_SIZE))
+        if sends:
+            yield self.system.engine.all_of(sends)

@@ -1,0 +1,118 @@
+"""Persistent profile store: PROACT's compile-time artifact.
+
+The paper's framework runs the profiler once per application/platform and
+bakes the chosen configuration into the compiled binary.  This module is
+that artifact for the library: a JSON-backed store mapping
+``(platform, workload)`` to the profiled :class:`ProactConfig`, so
+repeated runs skip the sweep.
+
+    store = ProfileStore(path=".proact_profiles.json")
+    config = store.get_or_profile(platform, workload, profiler)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.config import ProactConfig
+from repro.core.profiler import Profiler
+from repro.errors import ProactError
+from repro.hw.platform import PlatformSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.base import Workload
+
+_Key = Tuple[str, str]
+
+
+def _config_to_dict(config: ProactConfig) -> Dict:
+    return {
+        "mechanism": config.mechanism,
+        "chunk_size": config.chunk_size,
+        "transfer_threads": config.transfer_threads,
+        "poll_period": config.poll_period,
+    }
+
+
+def _config_from_dict(data: Dict) -> ProactConfig:
+    try:
+        return ProactConfig(
+            mechanism=data["mechanism"],
+            chunk_size=int(data["chunk_size"]),
+            transfer_threads=int(data["transfer_threads"]),
+            poll_period=float(data.get("poll_period", 4e-6)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProactError(f"corrupt profile entry: {data!r}") from exc
+
+
+class ProfileStore:
+    """JSON-backed cache of profiled configurations."""
+
+    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None,
+                 ) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self._entries: Dict[_Key, ProactConfig] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _Key) -> bool:
+        return key in self._entries
+
+    def get(self, platform_name: str, workload_name: str,
+            ) -> Optional[ProactConfig]:
+        """The stored configuration, or ``None`` if never profiled."""
+        return self._entries.get((platform_name, workload_name))
+
+    def put(self, platform_name: str, workload_name: str,
+            config: ProactConfig) -> None:
+        """Store (and persist, when backed by a file) a configuration."""
+        self._entries[(platform_name, workload_name)] = config
+        if self.path is not None:
+            self._save()
+
+    def get_or_profile(self, platform: PlatformSpec, workload: "Workload",
+                       profiler: Optional[Profiler] = None) -> ProactConfig:
+        """Return the cached config, profiling (and caching) on a miss."""
+        cached = self.get(platform.name, workload.name)
+        if cached is not None:
+            return cached
+        active_profiler = profiler or Profiler(platform)
+        profile = active_profiler.profile(workload.phase_builder())
+        config = profile.best_config
+        self.put(platform.name, workload.name, config)
+        return config
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _save(self) -> None:
+        assert self.path is not None
+        payload = {
+            f"{platform}::{workload}": _config_to_dict(config)
+            for (platform, workload), config in sorted(self._entries.items())
+        }
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def _load(self) -> None:
+        assert self.path is not None
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ProactError(
+                f"profile store {self.path} is not valid JSON") from exc
+        if not isinstance(payload, dict):
+            raise ProactError(
+                f"profile store {self.path} has an unexpected layout")
+        for key, data in payload.items():
+            platform, separator, workload = key.partition("::")
+            if not separator:
+                raise ProactError(
+                    f"profile store key {key!r} is not 'platform::workload'")
+            self._entries[(platform, workload)] = _config_from_dict(data)

@@ -1,0 +1,88 @@
+"""PROACT configuration: transfer mechanism, granularity, thread count.
+
+These are the three knobs the paper's compile-time profiler tunes
+(Section III-A, Table II).  ``ProactConfig.label()`` renders a config in
+Table II's notation, e.g. ``"D 128kB 2048 Poll"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import KiB, MiB
+
+#: Transfer mechanisms (Section III-C), plus the envisioned hardware
+#: engine (Section III-D).
+MECH_INLINE = "inline"
+MECH_POLLING = "polling"
+MECH_CDP = "cdp"
+MECH_HARDWARE = "hardware"
+
+DECOUPLED_MECHANISMS: Tuple[str, ...] = (MECH_POLLING, MECH_CDP,
+                                         MECH_HARDWARE)
+#: The software prototype's mechanisms — what the paper's profiler sweeps.
+ALL_MECHANISMS: Tuple[str, ...] = (MECH_INLINE, MECH_POLLING, MECH_CDP)
+#: Every mechanism, including the future-work hardware engine.
+ALL_MECHANISMS_WITH_HW: Tuple[str, ...] = (*ALL_MECHANISMS, MECH_HARDWARE)
+
+#: Granularity range studied by the profiler (Table II caption).
+PROFILE_CHUNK_SIZES: Tuple[int, ...] = (
+    4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB,
+    1 * MiB, 4 * MiB, 16 * MiB)
+
+#: Transfer-thread range studied by the profiler (Table II caption).
+PROFILE_THREAD_COUNTS: Tuple[int, ...] = (
+    32, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Default polling agent scan period.
+DEFAULT_POLL_PERIOD = 4e-6
+
+
+@dataclass(frozen=True)
+class ProactConfig:
+    """One point in PROACT's configuration space."""
+
+    mechanism: str
+    chunk_size: int
+    transfer_threads: int
+    poll_period: float = DEFAULT_POLL_PERIOD
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ALL_MECHANISMS_WITH_HW:
+            raise ConfigurationError(
+                f"unknown mechanism {self.mechanism!r}; "
+                f"expected one of {ALL_MECHANISMS_WITH_HW}")
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk size must be >= 1: {self.chunk_size}")
+        if self.transfer_threads < 1:
+            raise ConfigurationError(
+                f"transfer threads must be >= 1: {self.transfer_threads}")
+        if self.poll_period <= 0:
+            raise ConfigurationError(
+                f"poll period must be > 0: {self.poll_period}")
+
+    @property
+    def is_decoupled(self) -> bool:
+        return self.mechanism in DECOUPLED_MECHANISMS
+
+    def label(self) -> str:
+        """Table II notation for this configuration."""
+        if self.mechanism == MECH_INLINE:
+            return "I"
+        size = self.chunk_size
+        if size >= MiB and size % MiB == 0:
+            size_text = f"{size // MiB}MB"
+        else:
+            size_text = f"{size // KiB}kB"
+        if self.mechanism == MECH_HARDWARE:
+            return f"HW {size_text}"
+        mech_text = "Poll" if self.mechanism == MECH_POLLING else "CDP"
+        return f"D {size_text} {self.transfer_threads} {mech_text}"
+
+
+#: A sensible default when no profile has been run.
+DEFAULT_CONFIG = ProactConfig(
+    mechanism=MECH_POLLING, chunk_size=128 * KiB, transfer_threads=2048)

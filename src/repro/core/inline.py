@@ -1,0 +1,61 @@
+"""Direct inline P2P stores (Section III-C, "Direct Inline Stores").
+
+The inline variant injects remote stores straight into the producer
+kernel (Listing 1's ``user_kernel_inline``): no tracking, no agent, and
+transfers spread naturally across kernel execution.  Its interconnect
+efficiency depends entirely on how well the hardware can coalesce
+adjacent threads' stores, which in turn depends on the application's
+write spatial locality — the paper measures 26x more store transactions
+for ALS inline than decoupled.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProactError
+
+#: A full coalesced store transaction (one cache line over the fabric).
+COALESCE_TARGET = 128
+
+#: Number of emission segments the kernel's store stream is modelled as.
+INLINE_SEGMENTS = 64
+
+#: How many segments of remote stores may be in flight before the
+#: producer kernel stalls on its store queues.
+INLINE_STORE_QUEUE_SEGMENTS = 2
+
+
+def inline_access_size(store_size: int, spatial_locality: float) -> int:
+    """Effective interconnect access size of inline remote stores.
+
+    Interpolates geometrically between the application's raw store size
+    (no coalescing, ``spatial_locality == 0``) and a fully coalesced
+    128-byte transaction (``spatial_locality == 1``).
+
+    >>> inline_access_size(8, 1.0)
+    128
+    >>> inline_access_size(8, 0.0)
+    8
+    """
+    if store_size < 1:
+        raise ProactError(f"store size must be >= 1: {store_size}")
+    if not 0.0 <= spatial_locality <= 1.0:
+        raise ProactError(
+            f"spatial locality out of [0, 1]: {spatial_locality}")
+    if store_size >= COALESCE_TARGET:
+        return store_size
+    access = (store_size ** (1.0 - spatial_locality)
+              * COALESCE_TARGET ** spatial_locality)
+    return max(store_size, min(COALESCE_TARGET, round(access)))
+
+
+def store_issue_work(region_bytes: int, num_destinations: int,
+                     mem_bandwidth: float) -> float:
+    """Extra kernel time spent issuing remote stores inline.
+
+    The inline kernel writes each produced value once per destination GPU
+    on top of its local write; those extra stores consume store-issue /
+    memory-pipeline throughput.
+    """
+    if region_bytes < 0 or num_destinations < 0:
+        raise ProactError("negative inline store parameters")
+    return region_bytes * num_destinations / mem_bandwidth

@@ -1,0 +1,147 @@
+"""Block-to-chunk mappings (``proact_ds.mapping`` in the paper's Listing 1).
+
+A mapping answers two questions PROACT needs about a producer kernel:
+
+* which chunk(s) does CTA *i* write? (to initialize the atomic counters
+  and to attribute counter decrements), and
+* which CTA is the *last* writer of chunk *k* in schedule order? (to
+  place the chunk's readiness milestone).
+
+PROACT ships the common mappings from the paper — one-to-one/contiguous,
+strided, and stencil — plus a hook for user-defined mappings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from repro.errors import ProactError
+
+
+class BlockMapping:
+    """Base class: maps CTA indices onto chunk indices."""
+
+    name = "base"
+
+    def __init__(self, num_ctas: int, num_chunks: int) -> None:
+        if num_ctas < 1:
+            raise ProactError(f"need >= 1 CTA: {num_ctas}")
+        if num_chunks < 1:
+            raise ProactError(f"need >= 1 chunk: {num_chunks}")
+        self.num_ctas = num_ctas
+        self.num_chunks = num_chunks
+
+    def chunks_of_cta(self, cta_index: int) -> Sequence[int]:
+        """Chunk indices CTA ``cta_index`` writes to."""
+        raise NotImplementedError
+
+    def _check_cta(self, cta_index: int) -> None:
+        if not 0 <= cta_index < self.num_ctas:
+            raise ProactError(
+                f"CTA index {cta_index} out of range 0..{self.num_ctas - 1}")
+
+    def writers_per_chunk(self) -> List[int]:
+        """Number of CTAs writing each chunk — the counters' initial values.
+
+        This is what ``proact_init`` loads into the atomic counters.
+        """
+        counts = [0] * self.num_chunks
+        for cta in range(self.num_ctas):
+            for chunk in self.chunks_of_cta(cta):
+                counts[chunk] += 1
+        for chunk, count in enumerate(counts):
+            if count == 0:
+                raise ProactError(
+                    f"chunk {chunk} has no writers; mapping is not a cover")
+        return counts
+
+    def last_writer_of_chunk(self) -> List[int]:
+        """Index of the schedule-last CTA writing each chunk."""
+        last = [-1] * self.num_chunks
+        for cta in range(self.num_ctas):
+            for chunk in self.chunks_of_cta(cta):
+                last[chunk] = max(last[chunk], cta)
+        if any(writer < 0 for writer in last):
+            raise ProactError("mapping leaves chunks without writers")
+        return last
+
+
+class ContiguousMapping(BlockMapping):
+    """One-to-one: CTAs write consecutive equal slices of the region.
+
+    CTA *i* covers chunk range ``[i*C/N, (i+1)*C/N)`` — the
+    ``proact_contiguous`` mapping from Listing 1.
+    """
+
+    name = "contiguous"
+
+    def chunks_of_cta(self, cta_index: int) -> Sequence[int]:
+        self._check_cta(cta_index)
+        first = math.floor(cta_index * self.num_chunks / self.num_ctas)
+        last = math.ceil((cta_index + 1) * self.num_chunks / self.num_ctas)
+        return range(first, min(last, self.num_chunks))
+
+
+class StridedMapping(BlockMapping):
+    """CTAs write round-robin across chunks with a fixed stride.
+
+    CTA *i* writes chunk ``i % num_chunks`` (and wraps when there are more
+    chunks than CTAs).  Models grid-stride loops over partitioned data.
+    """
+
+    name = "strided"
+
+    def chunks_of_cta(self, cta_index: int) -> Sequence[int]:
+        self._check_cta(cta_index)
+        if self.num_ctas >= self.num_chunks:
+            return (cta_index % self.num_chunks,)
+        # Fewer CTAs than chunks: each CTA strides across several.
+        return range(cta_index, self.num_chunks, self.num_ctas)
+
+
+class StencilMapping(BlockMapping):
+    """CTAs write their own slice plus a halo into neighbouring chunks.
+
+    Models stencil codes (like the Jacobi solver) where a thread block
+    updates interior points of its tile and boundary points of adjacent
+    tiles.
+    """
+
+    name = "stencil"
+
+    def __init__(self, num_ctas: int, num_chunks: int, halo: int = 1) -> None:
+        super().__init__(num_ctas, num_chunks)
+        if halo < 0:
+            raise ProactError(f"negative halo: {halo}")
+        self.halo = halo
+
+    def chunks_of_cta(self, cta_index: int) -> Sequence[int]:
+        self._check_cta(cta_index)
+        center = math.floor(cta_index * self.num_chunks / self.num_ctas)
+        first = max(0, center - self.halo)
+        last = min(self.num_chunks - 1,
+                   math.floor(((cta_index + 1) * self.num_chunks - 1)
+                              / self.num_ctas) + self.halo)
+        return range(first, last + 1)
+
+
+class CustomMapping(BlockMapping):
+    """User-defined mapping via a callable (Listing 1's escape hatch)."""
+
+    name = "custom"
+
+    def __init__(self, num_ctas: int, num_chunks: int,
+                 mapper: Callable[[int], Sequence[int]]) -> None:
+        super().__init__(num_ctas, num_chunks)
+        self._mapper = mapper
+
+    def chunks_of_cta(self, cta_index: int) -> Sequence[int]:
+        self._check_cta(cta_index)
+        chunks = list(self._mapper(cta_index))
+        for chunk in chunks:
+            if not 0 <= chunk < self.num_chunks:
+                raise ProactError(
+                    f"custom mapping sent CTA {cta_index} to invalid "
+                    f"chunk {chunk}")
+        return chunks

@@ -1,0 +1,105 @@
+"""The polling transfer agent (Section III-C, "Polling").
+
+A small number of warps are specialized into a long-lived kernel that
+spins on the readiness bitmap and copies ready chunks to peer GPUs.  Two
+costs are modelled:
+
+* **Resource steal** — while resident, the agent's warps plus its spin
+  loops occupy a fraction of GPU throughput
+  (``threads/max_threads + spec.polling_overhead_fraction``), slowing
+  co-running compute kernels.  The paper finds this devastating on
+  Kepler and mild on Pascal/Volta.
+* **Poll latency** — a chunk becoming ready waits for the next bitmap
+  scan before its transfer starts.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+from typing import List
+
+from repro.core.agents import DecoupledAgent
+from repro.core.config import ProactConfig
+from repro.errors import ProactError
+from repro.hw.fluid import FluidTask
+from repro.sim.resources import Resource
+from repro.units import usec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.system import System
+
+#: Per-chunk dispatch work inside the polling agent (bitmap scan hit,
+#: address generation, copy-loop setup) — serialized within the agent's
+#: warp group.  This is what makes very fine chunks initiation-bound
+#: even for polling.
+CHUNK_DISPATCH_OVERHEAD = usec(0.5)
+
+
+class PollingAgent(DecoupledAgent):
+    """Long-lived polling kernel performing decoupled transfers."""
+
+    def __init__(self, system: "System", src_id: int, config: ProactConfig,
+                 destinations: List[int],
+                 elide_transfers: bool = False,
+                 peer_fraction: float = 1.0) -> None:
+        super().__init__(system, src_id, config, destinations,
+                         elide_transfers, peer_fraction)
+        self._resident_task: FluidTask | None = None
+        self._started_at: float | None = None
+        self._dispatcher = Resource(system.engine, capacity=1)
+
+    # ------------------------------------------------------------------
+    # Residency (resource steal)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the persistent polling kernel on the source GPU."""
+        if self._resident_task is not None:
+            raise ProactError("polling agent already started")
+        gpu = self.system.gpus[self.src_id]
+        demand = (gpu.spec.transfer_thread_demand(self.config.transfer_threads)
+                  + gpu.spec.polling_overhead_fraction)
+        self._resident_task = gpu.compute.launch(
+            f"gpu{self.src_id}.polling-agent", work=math.inf,
+            demand=min(demand, 1.0))
+        self._started_at = self.system.engine.now
+
+    def stop(self) -> None:
+        """Terminate the polling kernel, releasing its GPU resources."""
+        if self._resident_task is None:
+            raise ProactError("polling agent not started")
+        gpu = self.system.gpus[self.src_id]
+        gpu.compute.stop(self._resident_task)
+        self._resident_task = None
+
+    @property
+    def is_resident(self) -> bool:
+        return self._resident_task is not None
+
+    # ------------------------------------------------------------------
+    # Chunk dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, nbytes: int) -> None:
+        if self._resident_task is None:
+            raise ProactError("chunk_ready() before the agent started")
+        self._begin_send()
+        self.system.engine.process(
+            self._poll_then_send(nbytes),
+            name=f"poll-send:gpu{self.src_id}")
+
+    def _poll_then_send(self, nbytes: int):
+        engine = self.system.engine
+        # The chunk waits for the next bitmap scan tick.
+        period = self.config.poll_period
+        assert self._started_at is not None
+        elapsed = engine.now - self._started_at
+        wait = period - math.fmod(elapsed, period)
+        yield engine.timeout(wait)
+        # Per-chunk dispatch work serializes within the agent.
+        yield self._dispatcher.request()
+        try:
+            yield engine.timeout(CHUNK_DISPATCH_OVERHEAD)
+        finally:
+            self._dispatcher.release()
+        yield from self._send_chunk(nbytes)
+        self._end_send()

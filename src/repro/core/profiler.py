@@ -1,0 +1,160 @@
+"""PROACT's compile-time profiler (Section III-A, Table II).
+
+The profiler sweeps PROACT's configuration space — transfer mechanism,
+chunk granularity, transfer-thread count — by *running the application*
+(its phase list) under each candidate configuration and keeping the one
+with the best end-to-end runtime.  The result is then baked into the
+compiled configuration, exactly as the paper's framework emits the chosen
+parameters into the generated code.
+
+Two search modes:
+
+* ``"exhaustive"`` — the paper's brute force over the full grid;
+* ``"coordinate"`` (default) — sweep granularity at the largest thread
+  count, then threads at the best granularity; dramatically cheaper and
+  picks the same optimum whenever the two knobs are separable (they are,
+  in all the paper's workloads: granularity trades initiation against
+  tail, threads only gate copy bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import (
+    ALL_MECHANISMS,
+    MECH_INLINE,
+    PROFILE_CHUNK_SIZES,
+    PROFILE_THREAD_COUNTS,
+    ProactConfig,
+)
+from repro.core.runtime import GpuPhaseWork, ProactPhaseExecutor
+from repro.errors import ProactError
+from repro.hw.platform import PlatformSpec
+from repro.runtime.system import System
+
+#: A phase builder produces the application's phases for a given system.
+PhaseBuilder = Callable[[System], List[List[GpuPhaseWork]]]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One profiled configuration and its measured runtime."""
+
+    config: ProactConfig
+    runtime: float
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of a profiling pass."""
+
+    entries: List[ProfileEntry]
+
+    @property
+    def best(self) -> ProfileEntry:
+        if not self.entries:
+            raise ProactError("profile produced no entries")
+        return min(self.entries, key=lambda entry: entry.runtime)
+
+    @property
+    def best_config(self) -> ProactConfig:
+        return self.best.config
+
+    def best_for_mechanism(self, mechanism: str) -> ProfileEntry:
+        candidates = [entry for entry in self.entries
+                      if entry.config.mechanism == mechanism]
+        if not candidates:
+            raise ProactError(f"no entries for mechanism {mechanism!r}")
+        return min(candidates, key=lambda entry: entry.runtime)
+
+
+def run_phases(platform: PlatformSpec, config: ProactConfig,
+               phase_builder: PhaseBuilder,
+               elide_transfers: bool = False,
+               instrument: bool = True,
+               infinite_bw: bool = False) -> float:
+    """Simulate an application under one configuration; returns runtime."""
+    system = System(platform, infinite_bw=infinite_bw)
+    executor = ProactPhaseExecutor(system, config,
+                                   elide_transfers=elide_transfers,
+                                   instrument=instrument)
+    phases = phase_builder(system)
+
+    def driver():
+        for works in phases:
+            yield executor.execute(works)
+
+    done = system.engine.process(driver(), name="app")
+    system.run(until=done)
+    return system.now
+
+
+class Profiler:
+    """Configuration-space search for one platform."""
+
+    def __init__(self, platform: PlatformSpec,
+                 chunk_sizes: Sequence[int] = PROFILE_CHUNK_SIZES,
+                 thread_counts: Sequence[int] = PROFILE_THREAD_COUNTS,
+                 mechanisms: Sequence[str] = ALL_MECHANISMS,
+                 search: str = "coordinate") -> None:
+        if search not in ("coordinate", "exhaustive"):
+            raise ProactError(
+                f"unknown search mode {search!r}; "
+                "expected 'coordinate' or 'exhaustive'")
+        if not chunk_sizes or not thread_counts or not mechanisms:
+            raise ProactError("profiler needs non-empty sweep ranges")
+        self.platform = platform
+        self.chunk_sizes = tuple(sorted(chunk_sizes))
+        self.thread_counts = tuple(sorted(thread_counts))
+        self.mechanisms = tuple(mechanisms)
+        self.search = search
+
+    def profile(self, phase_builder: PhaseBuilder) -> ProfileResult:
+        """Run the sweep for one application."""
+        entries: List[ProfileEntry] = []
+        for mechanism in self.mechanisms:
+            if mechanism == MECH_INLINE:
+                entries.append(self._measure(
+                    ProactConfig(MECH_INLINE, self.chunk_sizes[0],
+                                 self.thread_counts[0]),
+                    phase_builder))
+            elif self.search == "exhaustive":
+                entries.extend(
+                    self._exhaustive(mechanism, phase_builder))
+            else:
+                entries.extend(
+                    self._coordinate(mechanism, phase_builder))
+        return ProfileResult(entries=entries)
+
+    # ------------------------------------------------------------------
+    # Search strategies
+    # ------------------------------------------------------------------
+    def _exhaustive(self, mechanism: str, phase_builder: PhaseBuilder,
+                    ) -> List[ProfileEntry]:
+        return [
+            self._measure(
+                ProactConfig(mechanism, chunk_size, threads), phase_builder)
+            for chunk_size in self.chunk_sizes
+            for threads in self.thread_counts
+        ]
+
+    def _coordinate(self, mechanism: str, phase_builder: PhaseBuilder,
+                    ) -> List[ProfileEntry]:
+        entries: List[ProfileEntry] = []
+        max_threads = self.thread_counts[-1]
+        for chunk_size in self.chunk_sizes:
+            entries.append(self._measure(
+                ProactConfig(mechanism, chunk_size, max_threads),
+                phase_builder))
+        best_chunk = min(entries, key=lambda e: e.runtime).config.chunk_size
+        for threads in self.thread_counts[:-1]:
+            entries.append(self._measure(
+                ProactConfig(mechanism, best_chunk, threads), phase_builder))
+        return entries
+
+    def _measure(self, config: ProactConfig,
+                 phase_builder: PhaseBuilder) -> ProfileEntry:
+        runtime = run_phases(self.platform, config, phase_builder)
+        return ProfileEntry(config=config, runtime=runtime)

@@ -1,0 +1,98 @@
+"""PROACT-enabled memory regions and chunk readiness schedules.
+
+A :class:`ProactRegion` is a producer-side region whose writes must reach
+every peer GPU (the paper's 1:1 local/remote correspondence).  The region
+is divided into transfer chunks of the profiler-chosen granularity; each
+chunk's *readiness point* — the kernel-progress fraction at which its last
+writer retires — is derived from the block mapping and CTA wave schedule.
+
+The ``readiness_shape`` parameter models write-order randomness that the
+deterministic mappings cannot express: ``1.0`` means writes land in
+address order (chunks ready steadily through the kernel, like Jacobi);
+larger values skew readiness toward the kernel's end (sporadic orders,
+like ALS), reducing the overlap window exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.mapping import BlockMapping, ContiguousMapping
+from repro.errors import ProactError
+from repro.hw.gpu import Gpu
+from repro.runtime.kernels import KernelSpec
+
+MappingFactory = Callable[[int, int], BlockMapping]
+
+
+@dataclass(frozen=True)
+class ChunkReadiness:
+    """When one chunk becomes transferable."""
+
+    chunk: int
+    nbytes: int
+    fraction: float  # kernel-progress fraction in (0, 1]
+
+
+class ProactRegion:
+    """One PROACT-enabled region on a producer GPU."""
+
+    def __init__(self, region_bytes: int, chunk_size: int,
+                 mapping_factory: MappingFactory = ContiguousMapping,
+                 readiness_shape: float = 1.0) -> None:
+        if region_bytes < 1:
+            raise ProactError(f"region must be >= 1 byte: {region_bytes}")
+        if chunk_size < 1:
+            raise ProactError(f"chunk size must be >= 1: {chunk_size}")
+        if readiness_shape < 1.0:
+            raise ProactError(
+                f"readiness shape must be >= 1.0: {readiness_shape}")
+        self.region_bytes = region_bytes
+        self.chunk_size = chunk_size
+        self.mapping_factory = mapping_factory
+        self.readiness_shape = readiness_shape
+
+    @property
+    def num_chunks(self) -> int:
+        return math.ceil(self.region_bytes / self.chunk_size)
+
+    def chunk_bytes(self, chunk: int) -> int:
+        """Size of one chunk (the final chunk may be a partial one)."""
+        if not 0 <= chunk < self.num_chunks:
+            raise ProactError(
+                f"chunk {chunk} out of range 0..{self.num_chunks - 1}")
+        if chunk == self.num_chunks - 1:
+            tail = self.region_bytes - chunk * self.chunk_size
+            return tail
+        return self.chunk_size
+
+    def mapping(self, num_ctas: int) -> BlockMapping:
+        """The block mapping for a kernel with ``num_ctas`` CTAs."""
+        return self.mapping_factory(num_ctas, self.num_chunks)
+
+    def readiness_schedule(self, gpu: Gpu, kernel: KernelSpec,
+                           ) -> List[ChunkReadiness]:
+        """Per-chunk readiness points, sorted by fraction (non-decreasing).
+
+        Chunk *k*'s raw readiness is the wave-quantized finish fraction of
+        its schedule-last writer CTA; ``readiness_shape`` then skews the
+        distribution toward the kernel end for random write orders.
+        """
+        mapping = self.mapping(kernel.num_ctas)
+        last_writers = mapping.last_writer_of_chunk()
+        schedule: List[ChunkReadiness] = []
+        for chunk, last_cta in enumerate(last_writers):
+            raw = kernel.cta_finish_fraction(gpu, last_cta)
+            skewed = raw ** (1.0 / self.readiness_shape)
+            schedule.append(ChunkReadiness(
+                chunk=chunk, nbytes=self.chunk_bytes(chunk),
+                fraction=min(1.0, skewed)))
+        schedule.sort(key=lambda item: item.fraction)
+        return schedule
+
+    def milestone_fractions(self, schedule: Sequence[ChunkReadiness],
+                            ) -> List[float]:
+        """Fractions for FluidTask milestones from a sorted schedule."""
+        return [item.fraction for item in schedule]

@@ -1,0 +1,87 @@
+"""Data-readiness tracking via atomic counters (Section III-B).
+
+PROACT tracks when every CTA that writes a chunk has finished, using one
+atomic counter per chunk initialized to the chunk's writer count.  The
+last decrement marks the chunk ready for transfer.
+
+Two layers live here:
+
+* :class:`ReadinessTracker` — the *functional* protocol: counters,
+  decrements, ready events.  The functional workload layer and the unit
+  tests drive it CTA by CTA to prove the protocol's correctness
+  (no chunk fires early, every chunk fires exactly once).
+* :func:`tracking_overhead` — the *timing* cost of the instrumentation
+  the compiler inserts (atomic decrement + memory fence per CTA), the
+  overhead the paper quantifies in Figure 8.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import List, Set
+
+from repro.core.mapping import BlockMapping
+from repro.errors import ProactError
+from repro.hw.specs import GpuSpec
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class ReadinessTracker:
+    """Per-chunk atomic counters decremented as CTAs complete."""
+
+    def __init__(self, engine: "Engine", mapping: BlockMapping) -> None:
+        self.engine = engine
+        self.mapping = mapping
+        self.counters: List[int] = mapping.writers_per_chunk()
+        self.chunk_ready: List[Event] = [
+            Event(engine) for _ in range(mapping.num_chunks)]
+        self._completed_ctas: Set[int] = set()
+
+    @property
+    def num_chunks(self) -> int:
+        return self.mapping.num_chunks
+
+    def cta_complete(self, cta_index: int) -> List[int]:
+        """Record one CTA's writes; returns chunks that became ready."""
+        if cta_index in self._completed_ctas:
+            raise ProactError(f"CTA {cta_index} already completed")
+        self._completed_ctas.add(cta_index)
+        became_ready: List[int] = []
+        for chunk in self.mapping.chunks_of_cta(cta_index):
+            if self.counters[chunk] <= 0:
+                raise ProactError(
+                    f"counter underflow on chunk {chunk}: the application "
+                    "issued a non-deterministic number of stores")
+            self.counters[chunk] -= 1
+            if self.counters[chunk] == 0:
+                self.chunk_ready[chunk].succeed(chunk)
+                became_ready.append(chunk)
+        return became_ready
+
+    def is_ready(self, chunk: int) -> bool:
+        return self.chunk_ready[chunk].triggered
+
+    @property
+    def ready_count(self) -> int:
+        return sum(1 for event in self.chunk_ready if event.triggered)
+
+    @property
+    def all_ready(self) -> bool:
+        return self.ready_count == self.num_chunks
+
+
+def tracking_overhead(spec: GpuSpec, num_ctas: int) -> float:
+    """Kernel-time cost of the counter instrumentation (Figure 8).
+
+    Each CTA executes an atomic decrement plus a memory fence; after L2
+    concurrency, the effective serialized cost per CTA is
+    ``spec.atomic_track_cost``.  Kernels with many short CTAs (PageRank)
+    therefore pay proportionally more than kernels with few long CTAs
+    (Jacobi) — the spread the paper reports as "negligible to ~40 %".
+    """
+    if num_ctas < 0:
+        raise ProactError(f"negative CTA count: {num_ctas}")
+    return num_ctas * spec.atomic_track_cost

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PROACT reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine runs out of events while processes still wait."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid hardware, interconnect, or PROACT configuration."""
+
+
+class MemoryError_(ReproError):
+    """Raised for invalid simulated-memory operations (bad ranges, OOM)."""
+
+
+class RuntimeApiError(ReproError):
+    """Raised for misuse of the simulated GPU runtime API."""
+
+
+class ProactError(ReproError):
+    """Raised for misuse of the PROACT runtime (regions, agents, profiler)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload construction or partitioning."""

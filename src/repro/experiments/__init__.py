@@ -1,0 +1,38 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from repro.experiments import (  # noqa: F401 - re-exported submodules
+    ablations,
+    fig1_paradigms,
+    fig2_goodput,
+    fig4_profile,
+    fig6_micro,
+    fig7_endtoend,
+    fig8_overhead,
+    fig9_overlap,
+    fig10_scaling,
+    sensitivity,
+    table1_systems,
+    table2_configs,
+    utilization,
+)
+from repro.experiments.report import TextTable, geometric_mean
+from repro.experiments.timeline import render_phase_timeline
+
+__all__ = [
+    "ablations",
+    "fig1_paradigms",
+    "fig2_goodput",
+    "fig4_profile",
+    "fig6_micro",
+    "fig7_endtoend",
+    "fig8_overhead",
+    "fig9_overlap",
+    "fig10_scaling",
+    "sensitivity",
+    "table1_systems",
+    "table2_configs",
+    "utilization",
+    "TextTable",
+    "render_phase_timeline",
+    "geometric_mean",
+]

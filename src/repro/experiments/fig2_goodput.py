@@ -1,0 +1,44 @@
+"""Figure 2: interconnect goodput vs. write transfer granularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.interconnect.efficiency import (
+    DEFAULT_GRANULARITIES,
+    GoodputPoint,
+    figure2_curves,
+)
+from repro.experiments.report import TextTable
+
+
+@dataclass
+class Figure2Result:
+    """The two goodput series of Figure 2."""
+
+    curves: Dict[str, List[GoodputPoint]]
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            title="Figure 2: goodput fraction vs. store granularity",
+            columns=["bytes", *self.curves.keys()])
+        sizes = [point.access_size
+                 for point in next(iter(self.curves.values()))]
+        for i, size in enumerate(sizes):
+            table.add_row(size, *(self.curves[name][i].goodput_fraction
+                                  for name in self.curves))
+        return table
+
+    def anchor_points(self) -> Dict[str, float]:
+        """The paper's calibration anchors: goodput of 4-byte stores."""
+        return {
+            name: next(p.goodput_fraction for p in points
+                       if p.access_size == 4)
+            for name, points in self.curves.items()
+        }
+
+
+def run(sizes: Sequence[int] = DEFAULT_GRANULARITIES) -> Figure2Result:
+    """Regenerate Figure 2."""
+    return Figure2Result(curves=figure2_curves(sizes))

@@ -1,0 +1,72 @@
+"""Figure 4: profiling surface — throughput vs. transfer threads and
+aggregate transfer size (microbenchmark on the Kepler system)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import MECH_POLLING, ProactConfig
+from repro.core.profiler import run_phases
+from repro.experiments.report import TextTable
+from repro.hw.platform import PLATFORM_4X_KEPLER, PlatformSpec
+from repro.units import KiB, MiB
+from repro.workloads.micro import MicroBenchmark
+
+#: Default sweep axes (a readable subset of the paper's full ranges).
+DEFAULT_THREADS: Tuple[int, ...] = (32, 128, 512, 2048, 8192)
+DEFAULT_SIZES: Tuple[int, ...] = (
+    4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB, 256 * MiB)
+
+
+@dataclass
+class Figure4Result:
+    """Relative workload throughput per (threads, transfer size) cell."""
+
+    platform: str
+    threads: Sequence[int]
+    sizes: Sequence[int]
+    throughput: Dict[Tuple[int, int], float]  # normalized to the best cell
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            title=(f"Figure 4: relative throughput vs. transfer threads x "
+                   f"granularity ({self.platform})"),
+            columns=["threads", *(_size_label(s) for s in self.sizes)])
+        for threads in self.threads:
+            table.add_row(threads, *(self.throughput[(threads, size)]
+                                     for size in self.sizes))
+        return table
+
+    def best_cell(self) -> Tuple[int, int]:
+        return max(self.throughput, key=self.throughput.get)
+
+
+def _size_label(size: int) -> str:
+    if size >= MiB:
+        return f"{size // MiB}MB"
+    return f"{size // KiB}kB"
+
+
+def run(platform: PlatformSpec = PLATFORM_4X_KEPLER,
+        threads: Sequence[int] = DEFAULT_THREADS,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        data_bytes: int = 64 * MiB) -> Figure4Result:
+    """Regenerate Figure 4's profiling surface.
+
+    Uses the polling mechanism (the one whose thread count matters most);
+    throughput is the inverse of end-to-end runtime, normalized so the
+    best configuration is 1.0.
+    """
+    micro = MicroBenchmark(data_bytes=data_bytes)
+    inverse_runtime: Dict[Tuple[int, int], float] = {}
+    for thread_count in threads:
+        for size in sizes:
+            config = ProactConfig(MECH_POLLING, size, thread_count)
+            runtime = run_phases(platform, config, micro.phase_builder())
+            inverse_runtime[(thread_count, size)] = 1.0 / runtime
+    best = max(inverse_runtime.values())
+    normalized = {cell: value / best
+                  for cell, value in inverse_runtime.items()}
+    return Figure4Result(platform=platform.name, threads=list(threads),
+                         sizes=list(sizes), throughput=normalized)

@@ -1,0 +1,100 @@
+"""Figure 6: microbenchmark speedup of decoupled transfer mechanisms over
+``cudaMemcpy`` as a function of transfer granularity, per platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import MECH_CDP, MECH_POLLING, ProactConfig
+from repro.core.profiler import run_phases
+from repro.experiments.report import TextTable
+from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
+from repro.runtime.system import System
+from repro.units import KiB, MiB
+from repro.workloads.micro import MicroBenchmark, memcpy_duplication_time
+
+#: Granularities swept (the paper sweeps 4 KB to 256 MB).
+DEFAULT_GRANULARITIES: Tuple[int, ...] = (
+    4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB,
+    4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB)
+
+#: Transfer-thread count per platform (the profiler-preferred values).
+PLATFORM_THREADS = {
+    "4x_kepler": 256,
+    "4x_pascal": 4096,
+    "4x_volta": 2048,
+}
+
+
+@dataclass
+class Figure6Result:
+    """Speedup over cudaMemcpy per (platform, mechanism, granularity)."""
+
+    granularities: Sequence[int]
+    speedups: Dict[Tuple[str, str, int], float]
+    platforms: Sequence[str]
+
+    def table(self, platform: str) -> TextTable:
+        table = TextTable(
+            title=f"Figure 6: microbenchmark speedup vs cudaMemcpy "
+                  f"({platform})",
+            columns=["granularity", "CDP", "Polling"])
+        for size in self.granularities:
+            table.add_row(
+                _label(size),
+                self.speedups[(platform, MECH_CDP, size)],
+                self.speedups[(platform, MECH_POLLING, size)])
+        return table
+
+    def tables(self) -> List[TextTable]:
+        return [self.table(platform) for platform in self.platforms]
+
+    def peak(self, platform: str, mechanism: str) -> float:
+        return max(self.speedups[(platform, mechanism, size)]
+                   for size in self.granularities)
+
+    def regions(self, platform: str, mechanism: str) -> Dict[str, float]:
+        """Speedup at the smallest, best, and largest granularity —
+        the initiation-bound / bandwidth-bound / tail-bound regions."""
+        sizes = list(self.granularities)
+        return {
+            "initiation": self.speedups[(platform, mechanism, sizes[0])],
+            "peak": self.peak(platform, mechanism),
+            "tail": self.speedups[(platform, mechanism, sizes[-1])],
+        }
+
+
+def _label(size: int) -> str:
+    if size >= MiB:
+        return f"{size // MiB}MB"
+    return f"{size // KiB}kB"
+
+
+def memcpy_baseline_time(platform: PlatformSpec, data_bytes: int) -> float:
+    """Total microbenchmark time under cudaMemcpy: tuned compute (equal to
+    the copy time) followed by the bulk copies themselves."""
+    system = System(platform)
+    copy_time = memcpy_duplication_time(system, data_bytes)
+    return 2.0 * copy_time + platform.gpu.kernel_launch_latency
+
+
+def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
+        granularities: Sequence[int] = DEFAULT_GRANULARITIES,
+        data_bytes: int = 256 * MiB) -> Figure6Result:
+    """Regenerate Figure 6."""
+    micro = MicroBenchmark(data_bytes=data_bytes)
+    speedups: Dict[Tuple[str, str, int], float] = {}
+    for platform in platforms:
+        baseline = memcpy_baseline_time(platform, data_bytes)
+        threads = PLATFORM_THREADS.get(platform.name, 2048)
+        for mechanism in (MECH_CDP, MECH_POLLING):
+            for size in granularities:
+                config = ProactConfig(mechanism, size, threads)
+                runtime = run_phases(platform, config,
+                                     micro.phase_builder())
+                speedups[(platform.name, mechanism, size)] = (
+                    baseline / runtime)
+    return Figure6Result(
+        granularities=list(granularities), speedups=speedups,
+        platforms=[p.name for p in platforms])

@@ -1,0 +1,85 @@
+"""Run every experiment and print the paper's tables and figures.
+
+``python -m repro.experiments.runner`` regenerates everything; each
+experiment is also importable individually (``fig7_endtoend.run()`` etc.).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Optional, Sequence, TextIO
+
+from repro.experiments import (
+    ablations,
+    fig1_paradigms,
+    fig2_goodput,
+    fig4_profile,
+    fig6_micro,
+    fig7_endtoend,
+    fig8_overhead,
+    fig9_overlap,
+    fig10_scaling,
+    sensitivity,
+    table1_systems,
+    table2_configs,
+    utilization,
+)
+from repro.units import MiB
+from repro.workloads import MicroBenchmark
+
+
+def run_all(quick: bool = True, out: Optional[TextIO] = None) -> None:
+    """Run every experiment, printing each table as it completes.
+
+    ``quick=True`` shrinks the microbenchmark data size and the profiler
+    grids so the full suite completes in minutes; the shapes are the
+    same, just with coarser sweeps.
+    """
+    stream = out or sys.stdout
+
+    def emit(text: str) -> None:
+        print(text, file=stream)
+        print("", file=stream)
+
+    def timed(label: str, thunk: Callable[[], List[str]]) -> None:
+        started = time.perf_counter()
+        blocks = thunk()
+        elapsed = time.perf_counter() - started
+        for block in blocks:
+            emit(block)
+        emit(f"[{label} completed in {elapsed:.1f}s]")
+
+    micro_bytes = 64 * MiB if quick else 256 * MiB
+
+    timed("Table I", lambda: [str(table1_systems.run().table())])
+    timed("Figure 1", lambda: [str(fig1_paradigms.run(
+        data_bytes=micro_bytes).table())])
+    timed("Figure 2", lambda: [str(fig2_goodput.run().table())])
+    timed("Figure 4", lambda: [str(fig4_profile.run(
+        data_bytes=micro_bytes).table())])
+    timed("Figure 6", lambda: [
+        str(table) for table in fig6_micro.run(
+            data_bytes=micro_bytes).tables()])
+    timed("Figure 7", lambda: [
+        str(table) for table in fig7_endtoend.run().tables()])
+    timed("Table II", lambda: [
+        str(table2_configs.run(quick=quick).table())])
+    timed("Figure 8", lambda: [str(fig8_overhead.run().table())])
+    timed("Figure 9", lambda: [str(fig9_overlap.run().table())])
+    timed("Figure 10", lambda: [
+        str(table) for table in fig10_scaling.run().tables()])
+    timed("Ablations", lambda: [
+        str(ablations.run_hardware_ablation().table()),
+        str(ablations.run_dma_engine_ablation().table()),
+        str(ablations.run_mapping_ablation().table()),
+        str(ablations.run_topology_ablation().table()),
+        str(ablations.run_granularity_ablation().table()),
+    ])
+    timed("Utilization smoothing", lambda: [str(utilization.run(
+        workload=MicroBenchmark(data_bytes=micro_bytes)).table())])
+    timed("Sensitivity", lambda: [str(sensitivity.run().table())])
+
+
+if __name__ == "__main__":
+    run_all(quick="--full" not in sys.argv)

@@ -1,0 +1,38 @@
+"""Table I: key characteristics of the evaluated systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.report import TextTable
+from repro.hw.platform import PLATFORMS, PlatformSpec
+from repro.units import GiB
+
+
+@dataclass
+class Table1Result:
+    """The platform matrix of Table I."""
+
+    platforms: Sequence[PlatformSpec]
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            title="Table I: evaluated systems",
+            columns=["system", "GPU", "arch", "#GPUs", "interconnect",
+                     "bidir GB/s", "SMs", "TFLOPS", "mem GB/s", "mem GB"])
+        for platform in self.platforms:
+            gpu = platform.gpu
+            table.add_row(
+                platform.name, gpu.name, gpu.arch, platform.num_gpus,
+                platform.interconnect.name,
+                platform.interconnect.bidir_bw_per_gpu / 1e9,
+                gpu.num_sms, gpu.tflops, gpu.mem_bandwidth / 1e9,
+                gpu.mem_capacity // GiB)
+        return table
+
+
+def run() -> Table1Result:
+    """Render Table I from the encoded platform specs."""
+    order = ["4x_kepler", "4x_pascal", "4x_volta", "16x_volta"]
+    return Table1Result(platforms=[PLATFORMS[name] for name in order])

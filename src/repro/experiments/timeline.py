@@ -1,0 +1,54 @@
+"""ASCII timelines of phase execution: see the overlap.
+
+Renders one :class:`~repro.core.runtime.PhaseResult` as a per-GPU Gantt
+strip — kernel execution as ``#``, transfers still draining after the
+kernel as ``>`` — which makes the difference between bulk-synchronous and
+proactive communication visible at a glance:
+
+    gpu0 |############################>>>>>|
+    gpu1 |#########################        |
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.runtime import PhaseResult
+from repro.units import format_time
+
+#: Glyphs used in the strip.
+GLYPH_KERNEL = "#"
+GLYPH_TRANSFER = ">"
+GLYPH_IDLE = " "
+
+
+def render_phase_timeline(result: PhaseResult, width: int = 64) -> str:
+    """Render a phase as one Gantt strip per GPU."""
+    if width < 8:
+        raise ValueError(f"timeline width too small: {width}")
+    span = result.end - result.start
+    if span <= 0:
+        return "(empty phase)"
+
+    def column(time: float) -> int:
+        fraction = (time - result.start) / span
+        return max(0, min(width, round(fraction * width)))
+
+    lines: List[str] = [
+        f"phase: {format_time(span)} "
+        f"(kernels done at {format_time(result.last_kernel_end - result.start)}, "
+        f"exposed transfers {format_time(result.exposed_transfer_time)})"
+    ]
+    for outcome in result.outcomes:
+        strip = [GLYPH_IDLE] * width
+        k_start = column(outcome.kernel_start)
+        k_end = column(outcome.kernel_end)
+        t_end = column(outcome.transfers_end)
+        for i in range(k_start, max(k_end, k_start + 1)):
+            if i < width:
+                strip[i] = GLYPH_KERNEL
+        for i in range(k_end, t_end):
+            if i < width:
+                strip[i] = GLYPH_TRANSFER
+        lines.append(f"gpu{outcome.gpu_id:<2d} |{''.join(strip)}|")
+    return "\n".join(lines)

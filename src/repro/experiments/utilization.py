@@ -1,0 +1,150 @@
+"""Interconnect utilization over time: the smoothing claim.
+
+Section III lists "(3) smoothing interconnect utilization over time to
+ensure no bandwidth is wasted" among PROACT's benefits.  This harness
+measures it directly: run one application under bulk duplication and
+under PROACT-decoupled, bucket every link's busy intervals into time
+slices, and compare the utilization *profiles* — bulk synchrony shows
+idle-then-burst sawtooths, PROACT a steady plateau.
+
+The summary statistic is the coefficient of variation (CV) of per-bucket
+fabric utilization: lower CV = smoother use of the interconnect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.report import TextTable
+from repro.hw.platform import PLATFORM_4X_VOLTA, PlatformSpec
+from repro.interconnect.link import Link
+from repro.paradigms import BulkMemcpyParadigm, ProactDecoupledParadigm
+from repro.paradigms.base import Paradigm
+from repro.runtime.system import System
+from repro.workloads import PageRankWorkload, Workload
+
+
+def link_utilization_timeline(link: Link, end_time: float,
+                              buckets: int) -> List[float]:
+    """Fraction of each time bucket the link spent busy."""
+    if buckets < 1:
+        raise ValueError(f"need >= 1 bucket: {buckets}")
+    if end_time <= 0:
+        return [0.0] * buckets
+    width = end_time / buckets
+    busy = [0.0] * buckets
+    for start, stop in link.busy.intervals:
+        first = min(buckets - 1, int(start / width))
+        last = min(buckets - 1, int(max(start, stop - 1e-15) / width))
+        for bucket in range(first, last + 1):
+            lo = bucket * width
+            hi = lo + width
+            busy[bucket] += max(0.0, min(stop, hi) - max(start, lo))
+    return [min(1.0, value / width) for value in busy]
+
+
+def fabric_utilization_timeline(system: System, end_time: float,
+                                buckets: int) -> List[float]:
+    """Mean per-bucket utilization across the links that carried data.
+
+    Links untouched by the workload (e.g. between idle GPU pairs) are
+    excluded, so the profile reflects how the *used* paths were driven.
+    """
+    active = [link for link in system.fabric.links if link.wire_bytes > 0]
+    if not active:
+        return [0.0] * buckets
+    timelines = [link_utilization_timeline(link, end_time, buckets)
+                 for link in active]
+    return [sum(values) / len(values) for values in zip(*timelines)]
+
+
+def active_window_fraction(series: Sequence[float],
+                           threshold: float = 0.02) -> float:
+    """Fraction of the run between the first and last active bucket."""
+    active = [i for i, value in enumerate(series) if value >= threshold]
+    if not active:
+        return 0.0
+    return (active[-1] - active[0] + 1) / len(series)
+
+
+def coefficient_of_variation(series: Sequence[float]) -> float:
+    """Std/mean of a series (0 when the mean is 0)."""
+    if not series:
+        return 0.0
+    mean = sum(series) / len(series)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in series) / len(series)
+    return math.sqrt(variance) / mean
+
+
+@dataclass
+class UtilizationResult:
+    """Per-paradigm utilization profiles for one app/platform."""
+
+    platform: str
+    workload: str
+    buckets: int
+    timelines: Dict[str, List[float]] = field(default_factory=dict)
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    def cv(self, paradigm: str) -> float:
+        return coefficient_of_variation(self.timelines[paradigm])
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            title=(f"Interconnect utilization over time: {self.workload} "
+                   f"({self.platform}, {self.buckets} buckets)"),
+            columns=["paradigm", "profile", "mean", "CV"])
+        for name, series in self.timelines.items():
+            glyphs = "".join(_spark(value) for value in series)
+            mean = sum(series) / len(series)
+            table.add_row(name, glyphs, mean, self.cv(name))
+        return table
+
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def _spark(value: float) -> str:
+    index = min(len(_SPARK_GLYPHS) - 1,
+                int(value * (len(_SPARK_GLYPHS) - 1) + 0.5))
+    return _SPARK_GLYPHS[index]
+
+
+def _run_with_fabric(paradigm: Paradigm, workload: Workload,
+                     platform: PlatformSpec,
+                     buckets: int) -> Tuple[List[float], float]:
+    """Execute a paradigm while keeping the system for link inspection."""
+    system = System(platform, **paradigm._system_kwargs())
+    phases = workload.phase_builder()(system)
+    from repro.paradigms.base import ParadigmResult
+    result = ParadigmResult(paradigm=paradigm.name, platform=platform.name,
+                            workload=workload.name, runtime=0.0)
+    driver = system.engine.process(
+        paradigm._drive(system, workload, phases, result))
+    system.run(until=driver)
+    return (fabric_utilization_timeline(system, system.now, buckets),
+            system.now)
+
+
+def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
+        workload: Optional[Workload] = None,
+        buckets: int = 48) -> UtilizationResult:
+    """Compare utilization profiles of bulk vs PROACT-decoupled."""
+    target = workload or PageRankWorkload()
+    result = UtilizationResult(platform=platform.name, workload=target.name,
+                               buckets=buckets)
+    paradigms: Sequence[Paradigm] = (
+        BulkMemcpyParadigm(),
+        ProactDecoupledParadigm(decoupled_config_for(platform)),
+    )
+    for paradigm in paradigms:
+        timeline, runtime = _run_with_fabric(
+            paradigm, target, platform, buckets)
+        result.timelines[paradigm.name] = timeline
+        result.runtimes[paradigm.name] = runtime
+    return result

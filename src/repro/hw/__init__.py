@@ -1,0 +1,52 @@
+"""Simulated GPU hardware: specs, fluid compute model, platforms."""
+
+from repro.hw.fluid import FluidShare, FluidTask
+from repro.hw.gpu import Gpu
+from repro.hw.platform import (
+    FOUR_GPU_PLATFORMS,
+    PLATFORM_4X_KEPLER,
+    PLATFORM_4X_PASCAL,
+    PLATFORM_4X_VOLTA,
+    PLATFORM_16X_VOLTA,
+    PLATFORM_8X_AMPERE,
+    PLATFORM_8X_VOLTA_CUBE,
+    PLATFORMS,
+    PlatformSpec,
+    platform_by_name,
+)
+from repro.hw.specs import (
+    AMPERE_A100,
+    ARCH_KEPLER,
+    ARCH_PASCAL,
+    ARCH_VOLTA,
+    KEPLER_K40M,
+    MAX_THREADS_PER_SM,
+    PASCAL_P100,
+    VOLTA_V100,
+    GpuSpec,
+)
+
+__all__ = [
+    "GpuSpec",
+    "Gpu",
+    "FluidShare",
+    "FluidTask",
+    "PlatformSpec",
+    "PLATFORMS",
+    "PLATFORM_4X_KEPLER",
+    "PLATFORM_4X_PASCAL",
+    "PLATFORM_4X_VOLTA",
+    "PLATFORM_16X_VOLTA",
+    "PLATFORM_8X_VOLTA_CUBE",
+    "PLATFORM_8X_AMPERE",
+    "FOUR_GPU_PLATFORMS",
+    "platform_by_name",
+    "KEPLER_K40M",
+    "PASCAL_P100",
+    "VOLTA_V100",
+    "AMPERE_A100",
+    "ARCH_KEPLER",
+    "ARCH_PASCAL",
+    "ARCH_VOLTA",
+    "MAX_THREADS_PER_SM",
+]

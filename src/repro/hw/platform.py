@@ -1,0 +1,93 @@
+"""The paper's four evaluation platforms (Table I) as platform specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hw.specs import (
+    AMPERE_A100,
+    KEPLER_K40M,
+    PASCAL_P100,
+    VOLTA_V100,
+    GpuSpec,
+)
+from repro.interconnect.specs import (
+    NVLINK1,
+    NVLINK2,
+    NVLINK2_CUBE_MESH,
+    NVSWITCH,
+    NVSWITCH3,
+    PCIE3,
+    InterconnectSpec,
+)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A complete multi-GPU system: GPU model, interconnect, GPU count."""
+
+    name: str
+    gpu: GpuSpec
+    interconnect: InterconnectSpec
+    num_gpus: int
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError(f"need >= 1 GPU: {self.num_gpus}")
+
+    def with_num_gpus(self, num_gpus: int) -> "PlatformSpec":
+        """Same platform scaled to a different GPU count (Figure 10)."""
+        return replace(
+            self, name=f"{num_gpus}x_{self.gpu.arch.lower()}",
+            num_gpus=num_gpus)
+
+
+#: 4x Tesla K40m over a PCIe 3.0 switch.
+PLATFORM_4X_KEPLER = PlatformSpec(
+    name="4x_kepler", gpu=KEPLER_K40M, interconnect=PCIE3, num_gpus=4)
+
+#: 4x Tesla P100 on an NVLink mesh (DGX-1 style).
+PLATFORM_4X_PASCAL = PlatformSpec(
+    name="4x_pascal", gpu=PASCAL_P100, interconnect=NVLINK1, num_gpus=4)
+
+#: 4x Tesla V100 on an NVLink2 mesh.
+PLATFORM_4X_VOLTA = PlatformSpec(
+    name="4x_volta", gpu=VOLTA_V100, interconnect=NVLINK2, num_gpus=4)
+
+#: 16x Tesla V100 through NVSwitch (DGX-2).
+PLATFORM_16X_VOLTA = PlatformSpec(
+    name="16x_volta", gpu=VOLTA_V100, interconnect=NVSWITCH, num_gpus=16)
+
+#: 8x A100 over third-gen NVSwitch (DGX-A100-class) — the conclusion's
+#: "next-generation architectures" projection.
+PLATFORM_8X_AMPERE = PlatformSpec(
+    name="8x_ampere", gpu=AMPERE_A100, interconnect=NVSWITCH3, num_gpus=8)
+
+#: 8x Tesla V100 in a DGX-1V-style hybrid cube mesh (topology ablation).
+PLATFORM_8X_VOLTA_CUBE = PlatformSpec(
+    name="8x_volta_cube", gpu=VOLTA_V100, interconnect=NVLINK2_CUBE_MESH,
+    num_gpus=8)
+
+#: Registry by name, as used in reports and the CLI-facing experiment API.
+PLATFORMS: Dict[str, PlatformSpec] = {
+    platform.name: platform
+    for platform in (PLATFORM_4X_KEPLER, PLATFORM_4X_PASCAL,
+                     PLATFORM_4X_VOLTA, PLATFORM_16X_VOLTA,
+                     PLATFORM_8X_VOLTA_CUBE, PLATFORM_8X_AMPERE)
+}
+
+#: The three 4-GPU platforms compared in Figures 6-9.
+FOUR_GPU_PLATFORMS: Tuple[PlatformSpec, ...] = (
+    PLATFORM_4X_KEPLER, PLATFORM_4X_PASCAL, PLATFORM_4X_VOLTA)
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    """Look up a platform spec, with a helpful error message."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

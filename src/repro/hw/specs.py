@@ -1,0 +1,163 @@
+"""GPU specifications (paper Table I) plus per-architecture cost constants.
+
+Table I in the paper gives the headline numbers (SM count, TFLOPS, memory
+bandwidth, capacity).  The additional latency constants here parameterize
+effects the paper measures but does not tabulate — DMA initiation cost
+(Section II-B: "several microseconds"), CUDA Dynamic Parallelism launch
+latency (Section V-A: highest on Volta), and the cost of the atomic-counter
+instrumentation PROACT adds to producer kernels (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GiB, gb_per_s, nsec, usec
+
+#: Architecture names used throughout.
+ARCH_KEPLER = "Kepler"
+ARCH_PASCAL = "Pascal"
+ARCH_VOLTA = "Volta"
+
+#: Maximum resident threads per SM (same across these architectures).
+MAX_THREADS_PER_SM = 2048
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU model's characteristics and cost constants."""
+
+    name: str
+    arch: str
+    num_sms: int
+    tflops: float
+    mem_bandwidth: float
+    mem_capacity: int
+    kernel_launch_latency: float
+    dma_init_overhead: float
+    cdp_launch_latency: float
+    #: Effective serialized cost per CTA of PROACT's tracking
+    #: instrumentation (atomic decrement + memory fence), as seen at
+    #: kernel scale after L2 concurrency is accounted for (Figure 8).
+    atomic_track_cost: float
+    #: Remote-store bandwidth one transfer thread can sustain, limited by
+    #: its outstanding-store queue depth over the interconnect latency.
+    #: Determines how many transfer threads saturate a link (Figure 4).
+    copy_thread_bandwidth: float
+    #: Extra fraction of GPU throughput burned by a resident polling
+    #: agent's spin loops (issue slots + L2 probe traffic).  Much more
+    #: costly on small, bandwidth-poor GPUs (Section V-A: Kepler).
+    polling_overhead_fraction: float
+    um_fault_latency: float
+    um_legacy: bool
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ConfigurationError(f"GPU needs >= 1 SM: {self.num_sms}")
+        if self.tflops <= 0 or self.mem_bandwidth <= 0:
+            raise ConfigurationError("GPU throughput figures must be positive")
+        for field_name in ("kernel_launch_latency", "dma_init_overhead",
+                           "cdp_launch_latency", "atomic_track_cost",
+                           "um_fault_latency", "polling_overhead_fraction"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"negative {field_name}")
+        if self.copy_thread_bandwidth <= 0:
+            raise ConfigurationError("copy_thread_bandwidth must be > 0")
+
+    @property
+    def max_threads(self) -> int:
+        """Maximum concurrently-resident threads on the whole GPU."""
+        return self.num_sms * MAX_THREADS_PER_SM
+
+    @property
+    def flops(self) -> float:
+        """Peak throughput in FLOP/s."""
+        return self.tflops * 1e12
+
+    def transfer_thread_demand(self, threads: int) -> float:
+        """Fraction of GPU execution capacity ``threads`` transfer threads use.
+
+        This is how a software PROACT agent 'steals' SM resources: its warps
+        occupy issue slots that computation would otherwise use.  The paper
+        notes this is far more costly on Kepler (15 SMs) than Volta (80 SMs).
+        """
+        if threads < 0:
+            raise ConfigurationError(f"negative thread count: {threads}")
+        return min(1.0, threads / self.max_threads)
+
+
+#: Tesla K40m — 4x Kepler system (PCIe 3.0).
+KEPLER_K40M = GpuSpec(
+    name="Tesla K40m",
+    arch=ARCH_KEPLER,
+    num_sms=15,
+    tflops=1.43,
+    mem_bandwidth=gb_per_s(288.4),
+    mem_capacity=12 * GiB,
+    kernel_launch_latency=usec(6.0),
+    dma_init_overhead=usec(11.0),
+    cdp_launch_latency=usec(3.5),
+    atomic_track_cost=nsec(120),
+    copy_thread_bandwidth=gb_per_s(0.045),
+    polling_overhead_fraction=1.30,
+    um_fault_latency=usec(45.0),
+    um_legacy=True,
+)
+
+#: Tesla P100 — 4x Pascal system (NVLink).
+PASCAL_P100 = GpuSpec(
+    name="Tesla P100",
+    arch=ARCH_PASCAL,
+    num_sms=56,
+    tflops=5.3,
+    mem_bandwidth=gb_per_s(720),
+    mem_capacity=16 * GiB,
+    kernel_launch_latency=usec(5.0),
+    dma_init_overhead=usec(9.0),
+    cdp_launch_latency=usec(8.0),
+    atomic_track_cost=nsec(70),
+    copy_thread_bandwidth=gb_per_s(0.022),
+    polling_overhead_fraction=0.010,
+    um_fault_latency=usec(30.0),
+    um_legacy=False,
+)
+
+#: A100 (Ampere) — a forward-looking platform beyond the paper's Table I,
+#: for the "future GPUs" projection the paper's conclusion calls for.
+#: Headline figures from the public A100 datasheet; cost constants follow
+#: Volta's trend (faster atomics and copy threads, CDP still expensive).
+AMPERE_A100 = GpuSpec(
+    name="A100",
+    arch="Ampere",
+    num_sms=108,
+    tflops=19.5,
+    mem_bandwidth=gb_per_s(1555),
+    mem_capacity=40 * GiB,
+    kernel_launch_latency=usec(4.0),
+    dma_init_overhead=usec(7.0),
+    cdp_launch_latency=usec(22.0),
+    atomic_track_cost=nsec(45),
+    copy_thread_bandwidth=gb_per_s(0.12),
+    polling_overhead_fraction=0.008,
+    um_fault_latency=usec(20.0),
+    um_legacy=False,
+)
+
+#: Tesla V100 — 4x Volta and 16x Volta (DGX-2) systems.
+VOLTA_V100 = GpuSpec(
+    name="Tesla V100",
+    arch=ARCH_VOLTA,
+    num_sms=80,
+    tflops=7.8,
+    mem_bandwidth=gb_per_s(920),
+    mem_capacity=32 * GiB,
+    kernel_launch_latency=usec(4.5),
+    dma_init_overhead=usec(8.0),
+    cdp_launch_latency=usec(26.0),
+    atomic_track_cost=nsec(60),
+    copy_thread_bandwidth=gb_per_s(0.09),
+    polling_overhead_fraction=0.012,
+    um_fault_latency=usec(25.0),
+    um_legacy=False,
+)

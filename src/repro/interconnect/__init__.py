@@ -1,0 +1,58 @@
+"""Interconnect models: packet framing, links, routes, and topologies."""
+
+from repro.interconnect.efficiency import (
+    DEFAULT_GRANULARITIES,
+    GoodputPoint,
+    figure2_curves,
+    goodput_curve,
+    saturation_size,
+)
+from repro.interconnect.fabric import Fabric
+from repro.interconnect.link import DEFAULT_QUANTUM, Link
+from repro.interconnect.packet import NVLINK_FORMAT, PCIE3_FORMAT, PacketFormat
+from repro.interconnect.route import (
+    InfiniteRoute,
+    Route,
+    TransferReceipt,
+)
+from repro.interconnect.specs import (
+    NVLINK1,
+    NVLINK2,
+    NVLINK2_CUBE_MESH,
+    NVSWITCH,
+    NVSWITCH3,
+    PCIE3,
+    TOPOLOGY_ALL_TO_ALL,
+    TOPOLOGY_CUBE_MESH,
+    TOPOLOGY_PCIE_TREE,
+    TOPOLOGY_SWITCH,
+    InterconnectSpec,
+)
+
+__all__ = [
+    "PacketFormat",
+    "PCIE3_FORMAT",
+    "NVLINK_FORMAT",
+    "Link",
+    "DEFAULT_QUANTUM",
+    "Route",
+    "InfiniteRoute",
+    "TransferReceipt",
+    "Fabric",
+    "InterconnectSpec",
+    "PCIE3",
+    "NVLINK1",
+    "NVLINK2",
+    "NVLINK2_CUBE_MESH",
+    "NVSWITCH",
+    "NVSWITCH3",
+    "TOPOLOGY_PCIE_TREE",
+    "TOPOLOGY_ALL_TO_ALL",
+    "TOPOLOGY_CUBE_MESH",
+    "TOPOLOGY_SWITCH",
+    "GoodputPoint",
+    "goodput_curve",
+    "figure2_curves",
+    "saturation_size",
+    "DEFAULT_GRANULARITIES",
+]

@@ -1,0 +1,52 @@
+"""Goodput-versus-granularity curves (paper Figure 2).
+
+These helpers evaluate :class:`~repro.interconnect.packet.PacketFormat`
+efficiency across a sweep of store granularities, producing exactly the
+series plotted in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.interconnect.packet import NVLINK_FORMAT, PCIE3_FORMAT, PacketFormat
+
+#: Store granularities swept in Figure 2 (1 B .. 1 KiB).
+DEFAULT_GRANULARITIES: Tuple[int, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class GoodputPoint:
+    """One point on a goodput curve."""
+
+    access_size: int
+    goodput_fraction: float
+
+
+def goodput_curve(fmt: PacketFormat,
+                  sizes: Sequence[int] = DEFAULT_GRANULARITIES,
+                  ) -> List[GoodputPoint]:
+    """Goodput fraction at each access size for one packet format."""
+    return [GoodputPoint(size, fmt.efficiency(size)) for size in sizes]
+
+
+def figure2_curves(sizes: Sequence[int] = DEFAULT_GRANULARITIES):
+    """Both Figure 2 series, keyed by interconnect name."""
+    return {
+        "PCIe": goodput_curve(PCIE3_FORMAT, sizes),
+        "NVLink": goodput_curve(NVLINK_FORMAT, sizes),
+    }
+
+
+def saturation_size(fmt: PacketFormat, target_fraction: float = 0.8,
+                    sizes: Sequence[int] = DEFAULT_GRANULARITIES) -> int:
+    """Smallest swept access size reaching the target goodput fraction.
+
+    The paper observes both interconnects become efficient at >= 128 B.
+    """
+    for size in sizes:
+        if fmt.efficiency(size) >= target_fraction:
+            return size
+    return sizes[-1]

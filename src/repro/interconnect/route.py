@@ -1,0 +1,173 @@
+"""Routes: ordered sets of links between two endpoints, plus transfer logic.
+
+A :class:`Route` carries messages from a source GPU to a destination GPU
+over one or more links (e.g. GPU→switch→GPU).  A message moves in service
+quanta, store-and-forward *per quantum*: each quantum occupies each link
+only for that link's own service time, then moves to the next hop while
+the following quantum takes its place.  Throughput is therefore gated by
+the slowest hop, but faster hops stay free for other flows — exactly how
+a transfer agent's thread-pool "throttle" can feed several destination
+links concurrently.  Delivery latency is paid once, after the final
+quantum.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.interconnect.link import Link
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class TransferReceipt:
+    """Summary of one completed route transfer."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    wire_bytes: int
+    access_size: int
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class Route:
+    """A unidirectional path between two endpoints."""
+
+    def __init__(self, engine: "Engine", src: int, dst: int,
+                 links: Sequence[Link], latency: float) -> None:
+        if not links:
+            raise ConfigurationError(f"route {src}->{dst} has no links")
+        if latency < 0:
+            raise ConfigurationError(f"negative route latency: {latency}")
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.links = tuple(links)
+        self.latency = latency
+        self._quantum = min(link.quantum for link in self.links)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Raw wire bandwidth of the slowest link on the route."""
+        return min(link.bandwidth for link in self.links)
+
+    def transfer(self, payload_bytes: int, access_size: int) -> Event:
+        """Send ``payload_bytes`` issued as ``access_size``-byte accesses.
+
+        Returns the completion event of a new process; its value is a
+        :class:`TransferReceipt`.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError(f"negative payload: {payload_bytes}")
+        if access_size < 1:
+            raise ConfigurationError(f"access size must be >= 1: {access_size}")
+        return self.engine.process(
+            self._transfer(payload_bytes, access_size),
+            name=f"xfer:{self.src}->{self.dst}",
+        )
+
+    def _move_quantum(self, quantum: int, access_size: int, gates, dones):
+        """One quantum's journey across every hop, gated by its
+        predecessor quantum so per-hop FIFO order is preserved."""
+        for hop, link in enumerate(self.links):
+            if gates is not None:
+                yield gates[hop]
+            # Each link frames the quantum with its own protocol overhead
+            # (a throttle pseudo-link has none; a PCIe link pays headers).
+            wire = link.format.message_wire_bytes(quantum, access_size)
+            yield link.arbiter.request()
+            service_start = self.engine.now
+            yield self.engine.timeout(link.service_time(wire))
+            link.account(service_start, self.engine.now, quantum, wire)
+            link.arbiter.release()
+            dones[hop].succeed()
+
+    def _transfer(self, payload_bytes: int, access_size: int):
+        start_time = self.engine.now
+        total_wire = 0
+        remaining = payload_bytes
+        # Quanta pipeline across hops: quantum k occupies hop h while
+        # quantum k+1 occupies hop h-1, so a multi-hop route still moves
+        # data at the slowest hop's rate while leaving faster hops free
+        # for other flows.
+        gates = None
+        last_quantum = None
+        while remaining > 0:
+            quantum = min(remaining, self._quantum)
+            total_wire += max(
+                link.format.message_wire_bytes(quantum, access_size)
+                for link in self.links)
+            dones = [Event(self.engine) for _ in self.links]
+            last_quantum = self.engine.process(
+                self._move_quantum(quantum, access_size, gates, dones),
+                name=f"quantum:{self.src}->{self.dst}")
+            gates = dones
+            remaining -= quantum
+        if last_quantum is not None:
+            yield last_quantum
+        if self.latency > 0 and payload_bytes > 0:
+            yield self.engine.timeout(self.latency)
+        return TransferReceipt(
+            src=self.src,
+            dst=self.dst,
+            payload_bytes=payload_bytes,
+            wire_bytes=total_wire,
+            access_size=access_size,
+            start_time=start_time,
+            end_time=self.engine.now,
+        )
+
+
+class LoopbackRoute(Route):
+    """Zero-cost route from a GPU to itself (local 'transfers')."""
+
+    def __init__(self, engine: "Engine", endpoint: int, fmt_link: Link) -> None:
+        super().__init__(engine, endpoint, endpoint, [fmt_link], latency=0.0)
+
+    def transfer(self, payload_bytes: int, access_size: int) -> Event:
+        event = Event(self.engine)
+        event.succeed(TransferReceipt(
+            src=self.src, dst=self.dst, payload_bytes=payload_bytes,
+            wire_bytes=0, access_size=access_size,
+            start_time=self.engine.now, end_time=self.engine.now))
+        return event
+
+
+class InfiniteRoute(Route):
+    """A route with infinite bandwidth and zero latency (limit study).
+
+    Used by the *Infinite Interconnect BW* paradigm from Section IV-B:
+    transfers complete instantaneously but are still accounted.
+    """
+
+    def __init__(self, engine: "Engine", src: int, dst: int,
+                 fmt_link: Link) -> None:
+        super().__init__(engine, src, dst, [fmt_link], latency=0.0)
+
+    def transfer(self, payload_bytes: int, access_size: int) -> Event:
+        event = Event(self.engine)
+        event.succeed(TransferReceipt(
+            src=self.src, dst=self.dst, payload_bytes=payload_bytes,
+            wire_bytes=0, access_size=access_size,
+            start_time=self.engine.now, end_time=self.engine.now))
+        return event
+
+
+def route_between(engine: "Engine", src: int, dst: int, links: Sequence[Link],
+                  latency: float, infinite: bool = False) -> Route:
+    """Factory used by topologies; picks the route flavour."""
+    if infinite:
+        return InfiniteRoute(engine, src, dst, links[0])
+    return Route(engine, src, dst, links, latency)

@@ -1,0 +1,111 @@
+"""Interconnect technology specifications (paper Table I).
+
+Each :class:`InterconnectSpec` describes one of the four interconnect
+generations used in the paper's test systems.  ``bidir_bw_per_gpu`` is the
+*aggregate bidirectional* bandwidth per GPU, exactly as Table I reports it;
+topology builders derive per-link unidirectional rates from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.interconnect.packet import NVLINK_FORMAT, PCIE3_FORMAT, PacketFormat
+from repro.units import gb_per_s, usec
+
+#: Topology kinds understood by the fabric builder.
+TOPOLOGY_PCIE_TREE = "pcie_tree"
+TOPOLOGY_ALL_TO_ALL = "all_to_all"
+TOPOLOGY_SWITCH = "switch"
+#: DGX-1-style hybrid cube mesh: two fully-connected quads joined by one
+#: cross link per GPU; some pairs need two hops.  Exactly eight GPUs.
+TOPOLOGY_CUBE_MESH = "cube_mesh"
+
+_VALID_TOPOLOGIES = (TOPOLOGY_PCIE_TREE, TOPOLOGY_ALL_TO_ALL,
+                     TOPOLOGY_SWITCH, TOPOLOGY_CUBE_MESH)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """One interconnect generation's characteristics."""
+
+    name: str
+    fmt: PacketFormat
+    bidir_bw_per_gpu: float
+    latency: float
+    topology: str
+
+    def __post_init__(self) -> None:
+        if self.bidir_bw_per_gpu <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0: {self.bidir_bw_per_gpu}")
+        if self.latency < 0:
+            raise ConfigurationError(f"negative latency: {self.latency}")
+        if self.topology not in _VALID_TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {_VALID_TOPOLOGIES}")
+
+    @property
+    def unidir_bw_per_gpu(self) -> float:
+        """Per-direction aggregate bandwidth per GPU."""
+        return self.bidir_bw_per_gpu / 2.0
+
+
+#: PCIe 3.0 x16 per GPU under a shared switch (4x Kepler system).
+PCIE3 = InterconnectSpec(
+    name="PCIe3",
+    fmt=PCIE3_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(16),
+    latency=usec(1.9),
+    topology=TOPOLOGY_PCIE_TREE,
+)
+
+#: First-generation NVLink mesh (4x Pascal system).
+NVLINK1 = InterconnectSpec(
+    name="NVLink",
+    fmt=NVLINK_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(150),
+    latency=usec(1.0),
+    topology=TOPOLOGY_ALL_TO_ALL,
+)
+
+#: Second-generation NVLink mesh (4x Volta system).
+NVLINK2 = InterconnectSpec(
+    name="NVLink2",
+    fmt=NVLINK_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(300),
+    latency=usec(0.9),
+    topology=TOPOLOGY_ALL_TO_ALL,
+)
+
+#: NVSwitch crossbar (16x Volta DGX-2 system).
+NVSWITCH = InterconnectSpec(
+    name="NVSwitch",
+    fmt=NVLINK_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(300),
+    latency=usec(1.1),
+    topology=TOPOLOGY_SWITCH,
+)
+
+#: Third-generation NVLink behind NVSwitch (DGX-A100-class): 600 GB/s
+#: aggregate bidirectional per GPU.  Forward-looking extension.
+NVSWITCH3 = InterconnectSpec(
+    name="NVSwitch3",
+    fmt=NVLINK_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(600),
+    latency=usec(0.9),
+    topology=TOPOLOGY_SWITCH,
+)
+
+#: DGX-1V-style hybrid cube mesh of eight Voltas: full NVLink2 bandwidth
+#: per GPU, but split over four point-to-point links with two-hop routes
+#: between non-adjacent GPUs.  Used by the topology-sensitivity ablation.
+NVLINK2_CUBE_MESH = InterconnectSpec(
+    name="NVLink2-CubeMesh",
+    fmt=NVLINK_FORMAT,
+    bidir_bw_per_gpu=gb_per_s(300),
+    latency=usec(0.9),
+    topology=TOPOLOGY_CUBE_MESH,
+)

@@ -1,0 +1,27 @@
+"""Multi-GPU communication paradigms compared in the paper (Section IV-B)."""
+
+from repro.paradigms.base import Paradigm, ParadigmResult, launch_phase_kernels
+from repro.paradigms.bulk import BulkMemcpyParadigm
+from repro.paradigms.infinite import InfiniteBandwidthParadigm
+from repro.paradigms.p2p_loads import P2pLoadParadigm
+from repro.paradigms.proact import (
+    ProactAutoParadigm,
+    ProactDecoupledParadigm,
+    ProactHardwareParadigm,
+    ProactInlineParadigm,
+)
+from repro.paradigms.um import UnifiedMemoryParadigm
+
+__all__ = [
+    "Paradigm",
+    "ParadigmResult",
+    "launch_phase_kernels",
+    "BulkMemcpyParadigm",
+    "UnifiedMemoryParadigm",
+    "P2pLoadParadigm",
+    "ProactInlineParadigm",
+    "ProactDecoupledParadigm",
+    "ProactAutoParadigm",
+    "ProactHardwareParadigm",
+    "InfiniteBandwidthParadigm",
+]

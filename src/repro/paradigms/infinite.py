@@ -1,0 +1,35 @@
+"""The Infinite Interconnect BW limit study (Section IV-B).
+
+The paper computes this bound from the bulk-transfer implementation by
+discounting the time spent in ``cudaMemcpy``: what remains is the pure
+computation (plus kernel launches), i.e. the runtime with instantaneous
+transfers and no fine-grained tracking overhead.  Every paradigm's
+speedup is reported against this theoretical maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.runtime import GpuPhaseWork
+from repro.paradigms.base import Paradigm, ParadigmResult, launch_phase_kernels
+from repro.runtime.system import System
+
+
+class InfiniteBandwidthParadigm(Paradigm):
+    """Computation only: data transfers are free and instantaneous."""
+
+    name = "Infinite BW"
+
+    def _wants_infinite_fabric(self) -> bool:
+        return True
+
+    def _drive(self, system: System, workload,
+               phases: Sequence[Sequence[GpuPhaseWork]],
+               result: ParadigmResult):
+        engine = system.engine
+        for works in phases:
+            phase_start = engine.now
+            launches = launch_phase_kernels(system, works)
+            yield engine.all_of([launch.done for launch in launches])
+            result.phase_durations.append(engine.now - phase_start)

@@ -1,0 +1,76 @@
+"""Simulated device-memory allocation with capacity accounting.
+
+Workloads allocate their data structures through :class:`MemoryAllocator`
+so that footprint errors (a working set that would not fit the paper's
+GPUs) fail loudly instead of silently mis-modelling.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import MemoryError_
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.device import Device
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live allocation on one device."""
+
+    name: str
+    device_id: int
+    nbytes: int
+    offset: int
+
+
+class MemoryAllocator:
+    """Bump allocator with capacity checking, one per system."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self._used: Dict[int, int] = {d.device_id: 0 for d in system.devices}
+        self._allocations: List[Allocation] = []
+
+    def used(self, device_id: int) -> int:
+        """Bytes currently allocated on a device."""
+        return self._used[device_id]
+
+    def free(self, device_id: int) -> int:
+        """Bytes still available on a device."""
+        capacity = self.system.devices[device_id].spec.mem_capacity
+        return capacity - self._used[device_id]
+
+    def alloc(self, device: "Device", nbytes: int, name: str = "buffer",
+              ) -> Allocation:
+        """Allocate ``nbytes`` on ``device``; raises when it does not fit."""
+        if nbytes < 0:
+            raise MemoryError_(f"negative allocation size: {nbytes}")
+        device_id = device.device_id
+        if nbytes > self.free(device_id):
+            raise MemoryError_(
+                f"allocation {name!r} of {nbytes} bytes does not fit on "
+                f"device {device_id} "
+                f"({self.free(device_id)} bytes free of "
+                f"{device.spec.mem_capacity})")
+        allocation = Allocation(name, device_id, nbytes,
+                                offset=self._used[device_id])
+        self._used[device_id] += nbytes
+        self._allocations.append(allocation)
+        return allocation
+
+    def alloc_replicated(self, nbytes: int, name: str = "buffer",
+                         ) -> List[Allocation]:
+        """Allocate the same buffer on every device (paper's 1:1 regions)."""
+        return [self.alloc(device, nbytes, f"{name}@gpu{device.device_id}")
+                for device in self.system.devices]
+
+    def release(self, allocation: Allocation) -> None:
+        """Free an allocation (bump allocator: space is only accounted)."""
+        if allocation not in self._allocations:
+            raise MemoryError_(f"allocation {allocation.name!r} is not live")
+        self._allocations.remove(allocation)
+        self._used[allocation.device_id] -= allocation.nbytes

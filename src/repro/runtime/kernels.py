@@ -1,0 +1,76 @@
+"""Kernel descriptions and CTA-schedule helpers.
+
+A :class:`KernelSpec` describes one GPU kernel's resource needs in
+hardware-independent terms (FLOPs, local memory traffic, CTA count).  The
+runtime converts it into fluid-share work per :class:`~repro.hw.gpu.Gpu`.
+
+The CTA-wave helpers answer "at what fraction of kernel progress does CTA
+*i* finish?", which PROACT uses to place chunk-readiness milestones
+without simulating individual CTAs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.gpu import Gpu
+
+#: Resident CTAs per SM assumed by the wave model (occupancy-limited).
+CTAS_PER_SM = 16
+
+#: CTAs of one wave do not all retire at the same instant: uneven work,
+#: scheduling skew, and memory-system jitter spread retirement over
+#: roughly the last third of the wave.  Earlier-scheduled CTAs retire
+#: earlier within that window.
+CTA_RETIREMENT_SPREAD = 0.3
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel's resource requirements, independent of GPU model."""
+
+    name: str
+    flops: float
+    local_bytes: float
+    num_ctas: int
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.local_bytes < 0:
+            raise ConfigurationError("kernel flops/bytes must be >= 0")
+        if self.num_ctas < 1:
+            raise ConfigurationError(f"kernel needs >= 1 CTA: {self.num_ctas}")
+
+    def uncontended_time(self, gpu: Gpu) -> float:
+        """Execution time on an otherwise-idle GPU (roofline)."""
+        return gpu.kernel_time(self.flops, self.local_bytes)
+
+    def concurrent_ctas(self, gpu: Gpu) -> int:
+        """How many CTAs are resident simultaneously."""
+        return min(self.num_ctas, gpu.spec.num_sms * CTAS_PER_SM)
+
+    def num_waves(self, gpu: Gpu) -> int:
+        """Number of CTA scheduling waves on this GPU."""
+        return math.ceil(self.num_ctas / self.concurrent_ctas(gpu))
+
+    def cta_finish_fraction(self, gpu: Gpu, cta_index: int) -> float:
+        """Kernel-progress fraction at which CTA ``cta_index`` completes.
+
+        CTAs are dispatched in waves; within a wave, retirement spreads
+        over the wave's final :data:`CTA_RETIREMENT_SPREAD` in scheduling
+        order (real CTAs never retire in perfect lockstep).  The last CTA
+        of the last wave always retires at kernel end — the source of the
+        paper's tail-transfer effect for very large chunks.
+        """
+        if not 0 <= cta_index < self.num_ctas:
+            raise ConfigurationError(
+                f"CTA index {cta_index} out of range 0..{self.num_ctas - 1}")
+        waves = self.num_waves(gpu)
+        concurrent = self.concurrent_ctas(gpu)
+        wave = cta_index // concurrent
+        wave_population = min(concurrent, self.num_ctas - wave * concurrent)
+        rank = (cta_index % concurrent + 1) / wave_population
+        within_wave = (1.0 - CTA_RETIREMENT_SPREAD
+                       + CTA_RETIREMENT_SPREAD * rank)
+        return (wave + within_wave) / waves

@@ -1,0 +1,72 @@
+"""CUDA-style streams: FIFO serialization of device operations.
+
+A :class:`Stream` runs submitted operations strictly in order, like a CUDA
+stream.  Operations are thunks returning an event (kernel launches, copies);
+``synchronize()`` gives an event that fires once everything submitted so
+far has completed.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Callable, List
+
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.device import Device
+
+
+class Stream:
+    """An in-order work queue on one device."""
+
+    def __init__(self, device: "Device", name: str = "stream") -> None:
+        self.device = device
+        self.name = name
+        self._engine = device.system.engine
+        self._queue: Store = Store(self._engine)
+        self._submitted = 0
+        self._completed = 0
+        self._idle_waiters: List[Event] = []
+        self._engine.process(self._pump(), name=f"stream:{name}")
+
+    def submit(self, operation: Callable[[], Event]) -> Event:
+        """Enqueue an operation; returns an event firing on its completion.
+
+        ``operation`` is called when the stream reaches it and must return
+        a waitable event (e.g. ``lambda: device.memcpy_peer(dst, n)``).
+        """
+        completion = Event(self._engine)
+        self._submitted += 1
+        self._queue.put((operation, completion))
+        return completion
+
+    def synchronize(self) -> Event:
+        """Event firing when all currently submitted work has finished."""
+        event = Event(self._engine)
+        if self._completed == self._submitted:
+            event.succeed()
+        else:
+            self._idle_waiters.append(event)
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Operations submitted but not yet completed."""
+        return self._submitted - self._completed
+
+    def _pump(self):
+        while True:
+            operation, completion = yield self._queue.get()
+            try:
+                result = yield operation()
+            except Exception as exc:  # noqa: BLE001 - surface via event
+                completion.fail(exc)
+                raise
+            self._completed += 1
+            completion.succeed(result)
+            if self._completed == self._submitted:
+                waiters, self._idle_waiters = self._idle_waiters, []
+                for waiter in waiters:
+                    waiter.succeed()

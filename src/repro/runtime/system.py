@@ -1,0 +1,74 @@
+"""The top-level simulated multi-GPU system.
+
+:class:`System` assembles one engine, the GPUs of a
+:class:`~repro.hw.platform.PlatformSpec`, the interconnect fabric, and
+per-GPU devices.  Every simulation in this library — microbenchmark,
+profiler run, end-to-end application — starts by building a ``System``.
+
+    system = System.from_name("4x_pascal")
+    kernel = system.devices[0].launch_kernel("produce", work=1e-3)
+    system.run(until=kernel.done)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.gpu import Gpu
+from repro.hw.platform import PlatformSpec, platform_by_name
+from repro.interconnect.fabric import Fabric
+from repro.interconnect.link import DEFAULT_QUANTUM
+from repro.runtime.device import Device
+from repro.sim.engine import Engine
+
+
+class System:
+    """One complete simulated multi-GPU machine."""
+
+    def __init__(self, spec: PlatformSpec, infinite_bw: bool = False,
+                 quantum: int = DEFAULT_QUANTUM,
+                 num_gpus: Optional[int] = None,
+                 dma_engines: int = 1) -> None:
+        if num_gpus is not None:
+            spec = spec.with_num_gpus(num_gpus)
+        if dma_engines < 1:
+            raise ConfigurationError(
+                f"need >= 1 DMA engine per GPU: {dma_engines}")
+        self.spec = spec
+        self.engine = Engine()
+        self.gpus: List[Gpu] = [
+            Gpu(self.engine, i, spec.gpu) for i in range(spec.num_gpus)]
+        self.fabric = Fabric(self.engine, spec.interconnect, spec.num_gpus,
+                             infinite=infinite_bw, quantum=quantum)
+        self.devices: List[Device] = [
+            Device(self, gpu, dma_engines=dma_engines) for gpu in self.gpus]
+
+    @classmethod
+    def from_name(cls, name: str, infinite_bw: bool = False,
+                  num_gpus: Optional[int] = None) -> "System":
+        """Build one of the paper's Table I systems by name."""
+        return cls(platform_by_name(name), infinite_bw=infinite_bw,
+                   num_gpus=num_gpus)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def device(self, device_id: int) -> Device:
+        if not 0 <= device_id < self.num_gpus:
+            raise ConfigurationError(
+                f"device id {device_id} out of range 0..{self.num_gpus - 1}")
+        return self.devices[device_id]
+
+    def run(self, until=None):
+        """Advance the simulation (see :meth:`repro.sim.Engine.run`)."""
+        return self.engine.run(until)
+
+    def __repr__(self) -> str:
+        return (f"<System {self.spec.name}: {self.num_gpus}x "
+                f"{self.spec.gpu.name} over {self.spec.interconnect.name}>")

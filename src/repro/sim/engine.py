@@ -1,0 +1,145 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the simulation clock and the event heap.  Everything in
+the simulator — GPUs, interconnect links, transfer agents, workload kernels —
+is expressed as generator-based processes scheduled by one engine instance.
+
+Typical use::
+
+    engine = Engine()
+
+    def worker(engine):
+        yield engine.timeout(1.5)
+        return "done"
+
+    proc = engine.process(worker(engine))
+    engine.run()
+    assert proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process
+
+_HeapEntry = Tuple[float, int, int, Event]
+
+
+class Engine:
+    """Discrete-event simulation engine with a heap-based event queue."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        if not self._heap:
+            raise DeadlockError("no scheduled events remain")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event._mark_processed()
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok and not event._defused:
+            # An unhandled failure with nobody waiting must not pass silently.
+            raise event.value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the heap is empty), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed, returning its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"until={deadline} is in the past (now={self._now})")
+        while self._heap and self.peek() <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def _run_until_event(self, event: Event) -> Any:
+        while not event.processed:
+            if not self._heap:
+                raise DeadlockError(
+                    f"event queue drained before {event!r} was processed")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,139 @@
+"""Generator-driven simulation processes.
+
+A :class:`Process` wraps a generator that yields :class:`~repro.sim.events.Event`
+objects.  Each time a yielded event fires, the engine resumes the generator
+with the event's value (or throws the event's exception into it).  When the
+generator returns, the process — itself an event — succeeds with the return
+value, so other processes can wait on it.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_URGENT, Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """An event representing a running generator-based activity."""
+
+    __slots__ = ("_generator", "name", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: Generator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}")
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process via an immediately-triggered initialization
+        # event so that process start is itself an ordered simulation event.
+        start = Event(engine)
+        start._ok = True
+        start._value = None
+        start._triggered = True
+        assert start.callbacks is not None
+        start.callbacks.append(self._resume)
+        engine.schedule(start, delay=0.0, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self is self.engine.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on, then schedule an
+        # immediate resume that throws the interrupt.
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.engine)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup._triggered = True
+        assert wakeup.callbacks is not None
+        wakeup.callbacks.append(self._resume)
+        self.engine.schedule(wakeup, delay=0.0, priority=PRIORITY_URGENT)
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        previous = self.engine._active_process
+        self.engine._active_process = self
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                trigger._defused = True
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        finally:
+            self.engine._active_process = previous
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+            # Throw the error back into the generator so the traceback
+            # points at the offending yield.
+            bounce = Event(self.engine)
+            bounce._ok = False
+            bounce._value = error
+            bounce._defused = True
+            bounce._triggered = True
+            assert bounce.callbacks is not None
+            bounce.callbacks.append(self._resume)
+            self.engine.schedule(bounce, delay=0.0, priority=PRIORITY_URGENT)
+            return
+        if target.engine is not self.engine:
+            raise SimulationError("process yielded an event from another engine")
+        if target.processed:
+            # Already fired: resume immediately (same timestamp).
+            bounce = Event(self.engine)
+            bounce._ok = target.ok
+            bounce._value = target.value
+            if not target.ok:
+                bounce._defused = True
+            bounce._triggered = True
+            assert bounce.callbacks is not None
+            bounce.callbacks.append(self._resume)
+            self.engine.schedule(bounce, delay=0.0, priority=PRIORITY_URGENT)
+            return
+        self._waiting_on = target
+        assert target.callbacks is not None
+        target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "running"
+        return f"<Process {self.name!r} {state}>"

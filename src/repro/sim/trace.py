@@ -1,0 +1,118 @@
+"""Lightweight tracing and statistics collection for simulations.
+
+A :class:`Tracer` records timestamped events into named channels and can
+summarize them afterwards.  Components accept an optional tracer so that
+tracing costs nothing when disabled (the default is a shared no-op).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    channel: str
+    label: str
+    payload: Any = None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries grouped by channel."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, channel: str, label: str,
+               payload: Any = None) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, channel, label, payload))
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    def channel(self, name: str) -> List[TraceRecord]:
+        """All records from one channel, in time order."""
+        return [r for r in self._records if r.channel == name]
+
+    def count(self, channel: str, label: Optional[str] = None) -> int:
+        """Number of records on a channel (optionally for one label)."""
+        return sum(
+            1 for r in self._records
+            if r.channel == channel and (label is None or r.label == label))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+#: Shared disabled tracer for components created without one.
+NULL_TRACER = Tracer(enabled=False)
+
+
+@dataclass
+class IntervalStats:
+    """Accumulates (start, end) busy intervals, e.g. link occupancy.
+
+    Intervals may be appended out of order; :meth:`busy_time` merges
+    overlaps so concurrent transfers are not double counted.
+    """
+
+    intervals: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self.intervals.append((start, end))
+
+    def busy_time(self) -> float:
+        """Total time covered by at least one interval."""
+        if not self.intervals:
+            return 0.0
+        merged_total = 0.0
+        current_start, current_end = None, None
+        for start, end in sorted(self.intervals):
+            if current_start is None:
+                current_start, current_end = start, end
+                continue
+            assert current_end is not None
+            if start <= current_end:
+                current_end = max(current_end, end)
+            else:
+                merged_total += current_end - current_start
+                current_start, current_end = start, end
+        if current_start is not None:
+            assert current_end is not None
+            merged_total += current_end - current_start
+        return merged_total
+
+    def span(self) -> float:
+        """Time from the first interval start to the last interval end."""
+        if not self.intervals:
+            return 0.0
+        return (max(end for _s, end in self.intervals)
+                - min(start for start, _e in self.intervals))
+
+
+class CounterStats:
+    """Simple named accumulators (bytes moved, packets sent, ...)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)

@@ -1,0 +1,89 @@
+"""Units and unit-formatting helpers.
+
+The simulator's base units are **seconds** for time and **bytes** for data.
+Bandwidths are expressed in bytes per second.  These helpers exist so that
+configuration code reads naturally (``4 * KiB``, ``usec(5)``) and so that
+reports can print human-friendly values.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary, as used throughout the paper: 4kB chunks etc.) ---
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# --- time ---
+SEC = 1.0
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * USEC
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MSEC
+
+
+def nsec(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NSEC
+
+
+def gib_per_s(value: float) -> float:
+    """Convert GiB/s to bytes/s."""
+    return value * GiB
+
+
+def gb_per_s(value: float) -> float:
+    """Convert (decimal) GB/s to bytes/s, matching vendor datasheets."""
+    return value * 1e9
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count as a short human-readable string.
+
+    >>> format_bytes(4096)
+    '4.0KiB'
+    >>> format_bytes(1536 * 1024)
+    '1.5MiB'
+    """
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{value:.0f}{suffix}"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration as a short human-readable string.
+
+    >>> format_time(2.5e-6)
+    '2.500us'
+    """
+    if seconds == 0:
+        return "0s"
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3f}s"
+    if abs(seconds) >= 1e-3:
+        return f"{seconds / 1e-3:.3f}ms"
+    if abs(seconds) >= 1e-6:
+        return f"{seconds / 1e-6:.3f}us"
+    return f"{seconds / 1e-9:.1f}ns"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth as GB/s (decimal, like vendor specs).
+
+    >>> format_bandwidth(16e9)
+    '16.0GB/s'
+    """
+    return f"{bytes_per_second / 1e9:.1f}GB/s"

@@ -1,0 +1,74 @@
+"""Benchmark workloads from the paper's Section IV-C."""
+
+from repro.workloads.als import AlsWorkload
+from repro.workloads.base import (
+    FunctionalCheck,
+    Workload,
+    consumer_peer_fraction,
+    imbalance_factor,
+    partition_range,
+    strip_final_phase_regions,
+)
+from repro.workloads.datasets import (
+    CsrGraph,
+    banded_matrix,
+    phantom_image,
+    power_law_graph,
+    rating_matrix,
+    road_like_graph,
+)
+from repro.workloads.jacobi import JacobiWorkload
+from repro.workloads.micro import (
+    BYTES_PER_CTA,
+    DEFAULT_DATA_BYTES,
+    MicroBenchmark,
+    memcpy_duplication_time,
+)
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.shared_memory import ReplicatedArray
+from repro.workloads.sssp import SsspWorkload
+from repro.workloads.stencil2d import Heat2DWorkload
+from repro.workloads.xray_ct import XrayCtWorkload
+
+#: The five full applications of the paper's evaluation, in figure order.
+PAPER_WORKLOADS = (
+    XrayCtWorkload,
+    JacobiWorkload,
+    PageRankWorkload,
+    SsspWorkload,
+    AlsWorkload,
+)
+
+
+def default_workloads():
+    """Fresh instances of the five applications at paper scale."""
+    return [cls() for cls in PAPER_WORKLOADS]
+
+
+__all__ = [
+    "Workload",
+    "FunctionalCheck",
+    "partition_range",
+    "imbalance_factor",
+    "consumer_peer_fraction",
+    "strip_final_phase_regions",
+    "ReplicatedArray",
+    "MicroBenchmark",
+    "memcpy_duplication_time",
+    "DEFAULT_DATA_BYTES",
+    "BYTES_PER_CTA",
+    "PageRankWorkload",
+    "SsspWorkload",
+    "AlsWorkload",
+    "JacobiWorkload",
+    "XrayCtWorkload",
+    "Heat2DWorkload",
+    "PAPER_WORKLOADS",
+    "default_workloads",
+    "CsrGraph",
+    "power_law_graph",
+    "road_like_graph",
+    "banded_matrix",
+    "rating_matrix",
+    "phantom_image",
+]

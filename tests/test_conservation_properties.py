@@ -1,0 +1,144 @@
+"""Property-based conservation and invariant tests across the stack.
+
+These protect the simulator's bookkeeping: bytes are neither created nor
+destroyed, time never runs backwards, and the executor's reported spans
+nest correctly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GpuPhaseWork,
+    MECH_CDP,
+    MECH_HARDWARE,
+    MECH_INLINE,
+    MECH_POLLING,
+    ProactConfig,
+    ProactPhaseExecutor,
+)
+from repro.hw import PLATFORM_4X_PASCAL, PLATFORM_4X_VOLTA
+from repro.interconnect import NVLINK2, Fabric
+from repro.runtime import KernelSpec, System
+from repro.sim import Engine
+from repro.units import KiB, MiB
+
+fast_settings = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Fabric conservation
+# ---------------------------------------------------------------------------
+
+@fast_settings
+@given(payloads=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=3),
+              st.integers(min_value=1, max_value=4 * MiB),
+              st.sampled_from([4, 32, 128, 256])),
+    min_size=1, max_size=8))
+def test_fabric_goodput_conservation(payloads):
+    """Total goodput equals total payload sent, whatever the mix."""
+    engine = Engine()
+    fabric = Fabric(engine, NVLINK2, num_gpus=4)
+    sends = []
+    expected = 0
+    for src, dst, nbytes, access in payloads:
+        if src == dst:
+            continue
+        sends.append(fabric.send(src, dst, nbytes, access))
+        expected += nbytes
+    if sends:
+        engine.run(until=engine.all_of(sends))
+    assert fabric.total_goodput_bytes() == expected
+    assert fabric.total_wire_bytes() >= expected
+
+
+@fast_settings
+@given(nbytes=st.integers(min_value=1, max_value=8 * MiB),
+       access=st.sampled_from([4, 16, 64, 256]))
+def test_transfer_duration_lower_bounded_by_wire_math(nbytes, access):
+    """A transfer can never beat its analytic wire time."""
+    engine = Engine()
+    fabric = Fabric(engine, NVLINK2, num_gpus=4)
+    receipt = engine.run(until=fabric.send(0, 1, nbytes, access))
+    fmt = NVLINK2.fmt
+    wire = fmt.message_wire_bytes(nbytes, access)
+    analytic = wire / fabric.peak_p2p_bandwidth(0, 1) + NVLINK2.latency
+    assert receipt.duration >= analytic * 0.999
+
+
+# ---------------------------------------------------------------------------
+# Executor invariants across all mechanisms
+# ---------------------------------------------------------------------------
+
+MECHANISMS = (MECH_INLINE, MECH_POLLING, MECH_CDP, MECH_HARDWARE)
+
+
+@fast_settings
+@given(mechanism=st.sampled_from(MECHANISMS),
+       region_mib=st.integers(min_value=1, max_value=16),
+       chunk_kib=st.sampled_from([64, 256, 1024]),
+       ncta=st.integers(min_value=64, max_value=20_000))
+def test_phase_spans_nest(mechanism, region_mib, chunk_kib, ncta):
+    """kernel_start <= kernel_end <= transfers_end <= phase end, and
+    the producer's bytes match region x destinations."""
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    config = ProactConfig(mechanism, chunk_kib * KiB, 2048)
+    executor = ProactPhaseExecutor(system, config)
+    works = [GpuPhaseWork(
+        kernel=KernelSpec("p", gpu.spec.flops * 1e-3, 0, ncta),
+        region_bytes=region_mib * MiB)] + [
+        GpuPhaseWork(kernel=KernelSpec("c", gpu.spec.flops * 1e-3, 0,
+                                       ncta))] * 3
+    result = system.run(until=executor.execute(works))
+    producer = result.outcomes[0]
+    assert (producer.kernel_start <= producer.kernel_end
+            <= producer.transfers_end <= result.end)
+    assert producer.bytes_sent == region_mib * MiB * 3
+    assert result.duration > 0
+    # All goodput on the fabric came from the producer.
+    assert system.fabric.total_goodput_bytes() == producer.bytes_sent
+
+
+@fast_settings
+@given(mechanism=st.sampled_from(MECHANISMS))
+def test_elide_never_slower_than_real_transfers(mechanism):
+    """Removing the wire time can only shorten the phase."""
+    def duration(elide):
+        system = System(PLATFORM_4X_PASCAL)
+        gpu = system.gpus[0]
+        config = ProactConfig(mechanism, 256 * KiB, 2048)
+        executor = ProactPhaseExecutor(system, config,
+                                       elide_transfers=elide)
+        works = [GpuPhaseWork(
+            kernel=KernelSpec("p", gpu.spec.flops * 1e-3, 0, 4096),
+            region_bytes=8 * MiB)] + [
+            GpuPhaseWork(kernel=KernelSpec("c", gpu.spec.flops * 1e-3,
+                                           0, 4096))] * 3
+        return system.run(until=executor.execute(works)).duration
+
+    assert duration(True) <= duration(False) * 1.001
+
+
+@fast_settings
+@given(mechanism=st.sampled_from((MECH_POLLING, MECH_CDP)),
+       chunk_kib=st.sampled_from([16, 128, 1024]))
+def test_hardware_never_slower_than_software(mechanism, chunk_kib):
+    def duration(mech):
+        system = System(PLATFORM_4X_VOLTA)
+        gpu = system.gpus[0]
+        executor = ProactPhaseExecutor(
+            system, ProactConfig(mech, chunk_kib * KiB, 2048))
+        works = [GpuPhaseWork(
+            kernel=KernelSpec("p", gpu.spec.flops * 1e-3, 0, 8192),
+            region_bytes=8 * MiB)] + [
+            GpuPhaseWork(kernel=KernelSpec("c", gpu.spec.flops * 1e-3,
+                                           0, 8192))] * 3
+        return system.run(until=executor.execute(works)).duration
+
+    assert duration(MECH_HARDWARE) <= duration(mechanism) * 1.001

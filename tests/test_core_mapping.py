@@ -1,0 +1,160 @@
+"""Unit and property tests for block-to-chunk mappings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    ContiguousMapping,
+    CustomMapping,
+    StencilMapping,
+    StridedMapping,
+)
+from repro.errors import ProactError
+
+
+# ---------------------------------------------------------------------------
+# Contiguous
+# ---------------------------------------------------------------------------
+
+def test_contiguous_equal_split():
+    mapping = ContiguousMapping(num_ctas=4, num_chunks=4)
+    assert list(mapping.chunks_of_cta(0)) == [0]
+    assert list(mapping.chunks_of_cta(3)) == [3]
+    assert mapping.writers_per_chunk() == [1, 1, 1, 1]
+    assert mapping.last_writer_of_chunk() == [0, 1, 2, 3]
+
+
+def test_contiguous_many_ctas_per_chunk():
+    mapping = ContiguousMapping(num_ctas=8, num_chunks=2)
+    assert mapping.writers_per_chunk() == [4, 4]
+    assert mapping.last_writer_of_chunk() == [3, 7]
+
+
+def test_contiguous_more_chunks_than_ctas():
+    mapping = ContiguousMapping(num_ctas=2, num_chunks=8)
+    assert list(mapping.chunks_of_cta(0)) == [0, 1, 2, 3]
+    assert list(mapping.chunks_of_cta(1)) == [4, 5, 6, 7]
+    assert mapping.writers_per_chunk() == [1] * 8
+
+
+def test_contiguous_uneven_split_covers_everything():
+    mapping = ContiguousMapping(num_ctas=3, num_chunks=7)
+    counts = mapping.writers_per_chunk()
+    assert all(count >= 1 for count in counts)
+
+
+# ---------------------------------------------------------------------------
+# Strided
+# ---------------------------------------------------------------------------
+
+def test_strided_round_robin():
+    mapping = StridedMapping(num_ctas=8, num_chunks=4)
+    assert list(mapping.chunks_of_cta(0)) == [0]
+    assert list(mapping.chunks_of_cta(5)) == [1]
+    assert mapping.writers_per_chunk() == [2, 2, 2, 2]
+    # Last writers are the final round of CTAs.
+    assert mapping.last_writer_of_chunk() == [4, 5, 6, 7]
+
+
+def test_strided_fewer_ctas_than_chunks():
+    mapping = StridedMapping(num_ctas=2, num_chunks=6)
+    assert list(mapping.chunks_of_cta(0)) == [0, 2, 4]
+    assert list(mapping.chunks_of_cta(1)) == [1, 3, 5]
+    assert mapping.writers_per_chunk() == [1] * 6
+
+
+# ---------------------------------------------------------------------------
+# Stencil
+# ---------------------------------------------------------------------------
+
+def test_stencil_includes_halo():
+    mapping = StencilMapping(num_ctas=4, num_chunks=4, halo=1)
+    assert list(mapping.chunks_of_cta(0)) == [0, 1]       # left edge
+    assert list(mapping.chunks_of_cta(1)) == [0, 1, 2]
+    assert list(mapping.chunks_of_cta(3)) == [2, 3]       # right edge
+
+
+def test_stencil_zero_halo_equals_contiguous():
+    stencil = StencilMapping(num_ctas=4, num_chunks=4, halo=0)
+    contiguous = ContiguousMapping(num_ctas=4, num_chunks=4)
+    for cta in range(4):
+        assert (list(stencil.chunks_of_cta(cta))
+                == list(contiguous.chunks_of_cta(cta)))
+
+
+def test_stencil_negative_halo_rejected():
+    with pytest.raises(ProactError):
+        StencilMapping(num_ctas=4, num_chunks=4, halo=-1)
+
+
+# ---------------------------------------------------------------------------
+# Custom
+# ---------------------------------------------------------------------------
+
+def test_custom_mapping():
+    mapping = CustomMapping(num_ctas=4, num_chunks=2,
+                            mapper=lambda cta: [cta % 2])
+    assert mapping.writers_per_chunk() == [2, 2]
+
+
+def test_custom_mapping_invalid_chunk_rejected():
+    mapping = CustomMapping(num_ctas=2, num_chunks=2,
+                            mapper=lambda cta: [cta + 5])
+    with pytest.raises(ProactError):
+        mapping.chunks_of_cta(0)
+
+
+def test_custom_mapping_without_cover_rejected():
+    mapping = CustomMapping(num_ctas=2, num_chunks=3,
+                            mapper=lambda cta: [cta])  # chunk 2 unwritten
+    with pytest.raises(ProactError):
+        mapping.writers_per_chunk()
+
+
+# ---------------------------------------------------------------------------
+# Shared validation
+# ---------------------------------------------------------------------------
+
+def test_bounds_validation():
+    with pytest.raises(ProactError):
+        ContiguousMapping(num_ctas=0, num_chunks=1)
+    with pytest.raises(ProactError):
+        ContiguousMapping(num_ctas=1, num_chunks=0)
+    mapping = ContiguousMapping(num_ctas=4, num_chunks=4)
+    with pytest.raises(ProactError):
+        mapping.chunks_of_cta(4)
+    with pytest.raises(ProactError):
+        mapping.chunks_of_cta(-1)
+
+
+# ---------------------------------------------------------------------------
+# Property: every mapping is a cover and counters are consistent
+# ---------------------------------------------------------------------------
+
+mapping_cases = st.tuples(
+    st.sampled_from([ContiguousMapping, StridedMapping, StencilMapping]),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+
+
+@given(case=mapping_cases)
+def test_writers_counts_match_enumeration(case):
+    cls, num_ctas, num_chunks = case
+    mapping = cls(num_ctas, num_chunks)
+    counts = mapping.writers_per_chunk()
+    total_writes = sum(
+        len(list(mapping.chunks_of_cta(cta))) for cta in range(num_ctas))
+    assert sum(counts) == total_writes
+    assert len(counts) == num_chunks
+    assert all(count >= 1 for count in counts)
+
+
+@given(case=mapping_cases)
+def test_last_writer_is_a_writer(case):
+    cls, num_ctas, num_chunks = case
+    mapping = cls(num_ctas, num_chunks)
+    last = mapping.last_writer_of_chunk()
+    for chunk, cta in enumerate(last):
+        assert chunk in list(mapping.chunks_of_cta(cta))

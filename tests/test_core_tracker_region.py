@@ -1,0 +1,190 @@
+"""Unit and property tests for readiness tracking and PROACT regions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContiguousMapping,
+    ProactRegion,
+    ReadinessTracker,
+    StridedMapping,
+    tracking_overhead,
+)
+from repro.errors import ProactError
+from repro.hw import KEPLER_K40M, PASCAL_P100, PLATFORM_4X_VOLTA, VOLTA_V100
+from repro.runtime import KernelSpec, System
+from repro.units import KiB, MiB
+
+
+# ---------------------------------------------------------------------------
+# ReadinessTracker (the functional atomic-counter protocol)
+# ---------------------------------------------------------------------------
+
+def test_tracker_counters_initialized_to_writer_counts():
+    system = System(PLATFORM_4X_VOLTA)
+    mapping = ContiguousMapping(num_ctas=8, num_chunks=2)
+    tracker = ReadinessTracker(system.engine, mapping)
+    assert tracker.counters == [4, 4]
+
+
+def test_tracker_chunk_fires_only_after_last_writer():
+    system = System(PLATFORM_4X_VOLTA)
+    mapping = ContiguousMapping(num_ctas=4, num_chunks=2)
+    tracker = ReadinessTracker(system.engine, mapping)
+    assert tracker.cta_complete(0) == []
+    assert not tracker.is_ready(0)
+    assert tracker.cta_complete(1) == [0]
+    assert tracker.is_ready(0)
+    assert not tracker.is_ready(1)
+    assert tracker.cta_complete(2) == []
+    assert tracker.cta_complete(3) == [1]
+    assert tracker.all_ready
+
+
+def test_tracker_double_completion_rejected():
+    system = System(PLATFORM_4X_VOLTA)
+    tracker = ReadinessTracker(
+        system.engine, ContiguousMapping(num_ctas=2, num_chunks=1))
+    tracker.cta_complete(0)
+    with pytest.raises(ProactError):
+        tracker.cta_complete(0)
+
+
+def test_tracker_ready_events_waitable():
+    system = System(PLATFORM_4X_VOLTA)
+    mapping = ContiguousMapping(num_ctas=2, num_chunks=2)
+    tracker = ReadinessTracker(system.engine, mapping)
+    log = []
+
+    def transfer_agent(engine, tracker):
+        chunk = yield tracker.chunk_ready[1]
+        log.append((chunk, engine.now))
+
+    def producer(engine, tracker):
+        yield engine.timeout(1.0)
+        tracker.cta_complete(0)
+        yield engine.timeout(1.0)
+        tracker.cta_complete(1)
+
+    system.engine.process(transfer_agent(system.engine, tracker))
+    system.engine.process(producer(system.engine, tracker))
+    system.run()
+    assert log == [(1, 2.0)]
+
+
+@given(num_ctas=st.integers(min_value=1, max_value=40),
+       num_chunks=st.integers(min_value=1, max_value=40),
+       cls=st.sampled_from([ContiguousMapping, StridedMapping]))
+def test_tracker_all_chunks_ready_after_all_ctas(num_ctas, num_chunks, cls):
+    """Protocol invariant: after every CTA retires, every chunk is ready,
+    every counter is exactly zero, and each chunk fired exactly once."""
+    system = System(PLATFORM_4X_VOLTA)
+    mapping = cls(num_ctas, num_chunks)
+    tracker = ReadinessTracker(system.engine, mapping)
+    fired = []
+    for cta in range(num_ctas):
+        fired.extend(tracker.cta_complete(cta))
+    assert tracker.all_ready
+    assert sorted(fired) == list(range(num_chunks))
+    assert all(counter == 0 for counter in tracker.counters)
+
+
+# ---------------------------------------------------------------------------
+# tracking_overhead (Figure 8 mechanism)
+# ---------------------------------------------------------------------------
+
+def test_tracking_overhead_scales_with_ctas():
+    assert tracking_overhead(VOLTA_V100, 0) == 0.0
+    one = tracking_overhead(VOLTA_V100, 1)
+    assert tracking_overhead(VOLTA_V100, 1000) == pytest.approx(1000 * one)
+
+
+def test_tracking_overhead_worse_on_older_architectures():
+    ctas = 10_000
+    assert (tracking_overhead(KEPLER_K40M, ctas)
+            > tracking_overhead(PASCAL_P100, ctas)
+            > tracking_overhead(VOLTA_V100, ctas))
+
+
+def test_tracking_overhead_negative_ctas_rejected():
+    with pytest.raises(ProactError):
+        tracking_overhead(VOLTA_V100, -1)
+
+
+# ---------------------------------------------------------------------------
+# ProactRegion
+# ---------------------------------------------------------------------------
+
+def test_region_chunk_count_and_tail():
+    region = ProactRegion(region_bytes=10 * KiB, chunk_size=4 * KiB)
+    assert region.num_chunks == 3
+    assert region.chunk_bytes(0) == 4 * KiB
+    assert region.chunk_bytes(2) == 2 * KiB  # tail chunk
+
+
+def test_region_total_bytes_conserved():
+    region = ProactRegion(region_bytes=100 * KiB + 123, chunk_size=16 * KiB)
+    total = sum(region.chunk_bytes(k) for k in range(region.num_chunks))
+    assert total == 100 * KiB + 123
+
+
+def test_region_validation():
+    with pytest.raises(ProactError):
+        ProactRegion(region_bytes=0, chunk_size=1024)
+    with pytest.raises(ProactError):
+        ProactRegion(region_bytes=1024, chunk_size=0)
+    with pytest.raises(ProactError):
+        ProactRegion(region_bytes=1024, chunk_size=64, readiness_shape=0.5)
+    region = ProactRegion(region_bytes=1024, chunk_size=512)
+    with pytest.raises(ProactError):
+        region.chunk_bytes(2)
+
+
+def test_readiness_schedule_ordered_writes_spread_through_kernel():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    # 5120 CTAs on Volta (1280 concurrent) -> 4 waves.
+    kernel = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=5120)
+    region = ProactRegion(region_bytes=4 * MiB, chunk_size=1 * MiB)
+    schedule = region.readiness_schedule(gpu, kernel)
+    fractions = [item.fraction for item in schedule]
+    assert fractions == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+
+def test_readiness_schedule_shape_skews_late():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    kernel = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=5120)
+    ordered = ProactRegion(4 * MiB, 1 * MiB, readiness_shape=1.0)
+    random_order = ProactRegion(4 * MiB, 1 * MiB, readiness_shape=4.0)
+    f_ordered = [i.fraction for i in ordered.readiness_schedule(gpu, kernel)]
+    f_random = [i.fraction for i in random_order.readiness_schedule(
+        gpu, kernel)]
+    # Random write order makes every non-final chunk ready later.
+    for a, b in zip(f_ordered[:-1], f_random[:-1]):
+        assert b > a
+    assert f_random[-1] == 1.0  # the last chunk always lands at kernel end
+
+
+def test_readiness_schedule_single_wave_spreads_late():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    kernel = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=64)
+    region = ProactRegion(region_bytes=4 * MiB, chunk_size=1 * MiB)
+    schedule = region.readiness_schedule(gpu, kernel)
+    fractions = [item.fraction for item in schedule]
+    # A single wave: chunks become ready within the wave's retirement
+    # window, the last exactly at kernel end.
+    assert all(fraction > 0.6 for fraction in fractions)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+@given(region_bytes=st.integers(min_value=1, max_value=1 << 22),
+       chunk_size=st.integers(min_value=1 << 10, max_value=1 << 20))
+def test_region_chunks_partition_region(region_bytes, chunk_size):
+    region = ProactRegion(region_bytes, chunk_size)
+    sizes = [region.chunk_bytes(k) for k in range(region.num_chunks)]
+    assert sum(sizes) == region_bytes
+    assert all(0 < size <= chunk_size for size in sizes)

@@ -1,0 +1,55 @@
+"""Smoke tests: the shipped examples must keep running.
+
+The fast examples run in-process (imported by path); the long ones
+(strong_scaling_dgx2, quickstart's full UM run) are exercised by the
+benchmark harness instead.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_phase_timeline_example(capsys):
+    load_example("phase_timeline").main()
+    output = capsys.readouterr().out
+    assert "well-tuned polling" in output
+    assert "tail-transfer pathology" in output
+    assert "#" in output and ">" in output
+
+
+def test_functional_correctness_example(capsys):
+    load_example("functional_correctness").main()
+    output = capsys.readouterr().out
+    assert "PASS" in output
+    assert "FAIL" not in output
+
+
+def test_autotune_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["autotune_jacobi.py", "4x_volta"])
+    load_example("autotune_jacobi").main()
+    output = capsys.readouterr().out
+    assert "Chosen configuration" in output
+    assert "best inline" in output
+
+
+def test_examples_all_have_docstrings_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        text = path.read_text()
+        assert text.startswith("#!/usr/bin/env python"), path.name
+        assert '"""' in text, path.name
+        assert "def main()" in text, path.name
+        assert '__name__ == "__main__"' in text, path.name

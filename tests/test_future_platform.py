@@ -1,0 +1,36 @@
+"""Tests for the forward-looking A100/NVLink3 platform extension."""
+
+import pytest
+
+from repro.hw import AMPERE_A100, PLATFORM_8X_AMPERE, VOLTA_V100
+from repro.paradigms import (
+    BulkMemcpyParadigm,
+    InfiniteBandwidthParadigm,
+    ProactDecoupledParadigm,
+)
+from repro.workloads import PageRankWorkload
+
+
+def test_a100_spec_advances_over_v100():
+    assert AMPERE_A100.tflops > VOLTA_V100.tflops
+    assert AMPERE_A100.mem_bandwidth > VOLTA_V100.mem_bandwidth
+    assert AMPERE_A100.num_sms > VOLTA_V100.num_sms
+    assert PLATFORM_8X_AMPERE.interconnect.bidir_bw_per_gpu == 600e9
+
+
+def test_proact_conclusions_carry_to_next_generation():
+    """The paper's conclusion: runtimes like PROACT will be necessary to
+    leverage next-generation architectures.  On the A100-class system
+    the PROACT-vs-bulk gap persists (compute grows faster than the
+    interconnect, so overlap matters at least as much)."""
+    workload = PageRankWorkload(iterations=3)
+    reference = InfiniteBandwidthParadigm().execute(
+        workload, PLATFORM_8X_AMPERE.with_num_gpus(1)).runtime
+    proact = reference / ProactDecoupledParadigm().execute(
+        workload, PLATFORM_8X_AMPERE).runtime
+    memcpy = reference / BulkMemcpyParadigm().execute(
+        workload, PLATFORM_8X_AMPERE).runtime
+    ideal = reference / InfiniteBandwidthParadigm().execute(
+        workload, PLATFORM_8X_AMPERE).runtime
+    assert proact > 2 * memcpy
+    assert proact >= 0.7 * ideal

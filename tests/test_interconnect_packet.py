@@ -1,0 +1,177 @@
+"""Unit and property tests for packet framing and efficiency curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.interconnect import (
+    NVLINK_FORMAT,
+    PCIE3_FORMAT,
+    PacketFormat,
+    figure2_curves,
+    goodput_curve,
+    saturation_size,
+)
+
+
+# ---------------------------------------------------------------------------
+# Calibration against the paper's Figure 2 anchor points
+# ---------------------------------------------------------------------------
+
+def test_pcie_4byte_store_goodput_near_14_percent():
+    assert PCIE3_FORMAT.efficiency(4) == pytest.approx(0.14, abs=0.02)
+
+
+def test_nvlink_4byte_store_goodput_near_8_percent():
+    assert NVLINK_FORMAT.efficiency(4) == pytest.approx(0.08, abs=0.02)
+
+
+def test_both_formats_efficient_at_128_bytes_and_above():
+    for fmt in (PCIE3_FORMAT, NVLINK_FORMAT):
+        assert fmt.efficiency(128) >= 0.75
+        assert fmt.efficiency(256) >= 0.85
+
+
+def test_nvlink_worse_than_pcie_at_tiny_stores():
+    # Figure 2: NVLink's percentage goodput is below PCIe's at 4 B.
+    assert NVLINK_FORMAT.efficiency(4) < PCIE3_FORMAT.efficiency(4)
+
+
+def test_saturation_size_is_128_bytes():
+    assert saturation_size(PCIE3_FORMAT) == 128
+    assert saturation_size(NVLINK_FORMAT) == 128
+
+
+# ---------------------------------------------------------------------------
+# wire_bytes mechanics
+# ---------------------------------------------------------------------------
+
+def test_wire_bytes_zero_payload():
+    assert PCIE3_FORMAT.wire_bytes(0) == 0
+
+
+def test_wire_bytes_single_packet():
+    # 100 B on PCIe: one packet, payload padded to dword (100 is aligned).
+    assert PCIE3_FORMAT.wire_bytes(100) == 24 + 100
+
+
+def test_wire_bytes_pads_to_granule():
+    # 5 B on NVLink pads to one 16 B flit.
+    assert NVLINK_FORMAT.wire_bytes(5) == 32 + 16
+    # 5 B on PCIe pads to two dwords.
+    assert PCIE3_FORMAT.wire_bytes(5) == 24 + 8
+
+
+def test_wire_bytes_splits_large_accesses():
+    # 600 B on PCIe (max payload 256): 2 full packets + 88 B tail.
+    expected = 2 * (24 + 256) + (24 + 88)
+    assert PCIE3_FORMAT.wire_bytes(600) == expected
+
+
+def test_packets_for():
+    assert PCIE3_FORMAT.packets_for(0) == 0
+    assert PCIE3_FORMAT.packets_for(1) == 1
+    assert PCIE3_FORMAT.packets_for(256) == 1
+    assert PCIE3_FORMAT.packets_for(257) == 2
+
+
+def test_message_wire_bytes_scales_with_access_size():
+    message = 1024 * 1024
+    fine = NVLINK_FORMAT.message_wire_bytes(message, access_size=4)
+    coarse = NVLINK_FORMAT.message_wire_bytes(message, access_size=256)
+    assert fine > 5 * coarse  # fine-grained stores are dramatically worse
+
+
+def test_message_wire_bytes_with_tail():
+    # 300 B issued as 128 B accesses: two full + one 44 B tail access.
+    expected = 2 * PCIE3_FORMAT.wire_bytes(128) + PCIE3_FORMAT.wire_bytes(44)
+    assert PCIE3_FORMAT.message_wire_bytes(300, 128) == expected
+
+
+def test_invalid_format_rejected():
+    with pytest.raises(ConfigurationError):
+        PacketFormat("bad", header_bytes=-1, payload_granule=4, max_payload=256)
+    with pytest.raises(ConfigurationError):
+        PacketFormat("bad", header_bytes=8, payload_granule=0, max_payload=256)
+    with pytest.raises(ConfigurationError):
+        PacketFormat("bad", header_bytes=8, payload_granule=16, max_payload=8)
+    with pytest.raises(ConfigurationError):
+        PacketFormat("bad", header_bytes=8, payload_granule=16, max_payload=100)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ConfigurationError):
+        PCIE3_FORMAT.wire_bytes(-1)
+    with pytest.raises(ConfigurationError):
+        PCIE3_FORMAT.message_wire_bytes(-1, 4)
+    with pytest.raises(ConfigurationError):
+        PCIE3_FORMAT.message_wire_bytes(100, 0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants
+# ---------------------------------------------------------------------------
+
+formats = st.sampled_from([PCIE3_FORMAT, NVLINK_FORMAT])
+
+
+@given(fmt=formats, payload=st.integers(min_value=1, max_value=1 << 22))
+def test_wire_bytes_at_least_payload(fmt, payload):
+    assert fmt.wire_bytes(payload) >= payload
+
+
+@given(fmt=formats, payload=st.integers(min_value=1, max_value=1 << 22))
+def test_efficiency_bounded(fmt, payload):
+    eff = fmt.efficiency(payload)
+    assert 0.0 < eff < 1.0
+
+
+@given(fmt=formats, payload=st.integers(min_value=1, max_value=1 << 14))
+def test_efficiency_monotone_up_to_max_payload(fmt, payload):
+    """Within one packet, a bigger aligned access is never less efficient."""
+    if payload >= fmt.max_payload:
+        return
+    bigger = min(payload * 2, fmt.max_payload)
+    aligned = fmt.payload_granule
+    p1 = (payload // aligned) * aligned or aligned
+    p2 = (bigger // aligned) * aligned or aligned
+    if p2 > p1:
+        assert fmt.efficiency(p2) >= fmt.efficiency(p1)
+
+
+@given(fmt=formats,
+       message=st.integers(min_value=1, max_value=1 << 20),
+       access=st.integers(min_value=1, max_value=1 << 12))
+def test_message_wire_bytes_consistent_with_accesses(fmt, message, access):
+    """Message framing equals per-access framing summed."""
+    full, tail = divmod(message, access)
+    expected = full * fmt.wire_bytes(access)
+    if tail:
+        expected += fmt.wire_bytes(tail)
+    assert fmt.message_wire_bytes(message, access) == expected
+
+
+@given(fmt=formats, message=st.integers(min_value=1, max_value=1 << 20))
+def test_coarser_access_never_more_wire_bytes(fmt, message):
+    """Doubling the access size never increases wire traffic."""
+    sizes = [4, 8, 16, 32, 64, 128, 256]
+    wire = [fmt.message_wire_bytes(message, s) for s in sizes]
+    assert wire == sorted(wire, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Curve helpers
+# ---------------------------------------------------------------------------
+
+def test_goodput_curve_shape():
+    curve = goodput_curve(NVLINK_FORMAT)
+    fractions = [point.goodput_fraction for point in curve]
+    assert fractions[0] < 0.05  # 1-byte stores are terrible
+    assert fractions[-1] > 0.8  # 1 KiB is efficient
+
+
+def test_figure2_has_both_series():
+    curves = figure2_curves()
+    assert set(curves) == {"PCIe", "NVLink"}
+    assert len(curves["PCIe"]) == len(curves["NVLink"])

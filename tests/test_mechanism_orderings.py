@@ -1,0 +1,81 @@
+"""Fast scenario tests for the paper's mechanism orderings.
+
+The benchmark harness regenerates the full figures; these reduced-size
+runs keep the decisive *orderings* under test in the regular suite.
+"""
+
+import pytest
+
+from repro.core import MECH_CDP, MECH_POLLING, ProactConfig
+from repro.core.profiler import run_phases
+from repro.hw import (
+    PLATFORM_4X_KEPLER,
+    PLATFORM_4X_PASCAL,
+    PLATFORM_4X_VOLTA,
+)
+from repro.units import KiB, MiB
+from repro.workloads import MicroBenchmark, memcpy_duplication_time
+from repro.runtime import System
+
+DATA = 16 * MiB
+
+
+def micro_speedup(platform, mechanism, chunk_size, threads):
+    micro = MicroBenchmark(data_bytes=DATA)
+    baseline = (2 * memcpy_duplication_time(System(platform), DATA)
+                + platform.gpu.kernel_launch_latency)
+    runtime = run_phases(platform, ProactConfig(mechanism, chunk_size,
+                                                threads),
+                         micro.phase_builder())
+    return baseline / runtime
+
+
+# ---------------------------------------------------------------------------
+# Section V-A orderings
+# ---------------------------------------------------------------------------
+
+def test_kepler_polling_underperforms_memcpy_and_cdp():
+    polling = micro_speedup(PLATFORM_4X_KEPLER, MECH_POLLING, 256 * KiB, 256)
+    cdp = micro_speedup(PLATFORM_4X_KEPLER, MECH_CDP, 256 * KiB, 256)
+    assert polling < 1.0 < cdp
+
+
+def test_kepler_cdp_initiation_bound_below_16kb():
+    fine = micro_speedup(PLATFORM_4X_KEPLER, MECH_CDP, 4 * KiB, 256)
+    coarse = micro_speedup(PLATFORM_4X_KEPLER, MECH_CDP, 256 * KiB, 256)
+    assert fine < 1.05 < coarse
+
+
+def test_volta_cdp_slow_at_low_granularity_polling_steady():
+    cdp_fine = micro_speedup(PLATFORM_4X_VOLTA, MECH_CDP, 16 * KiB, 2048)
+    cdp_coarse = micro_speedup(PLATFORM_4X_VOLTA, MECH_CDP, 1 * MiB, 2048)
+    poll_fine = micro_speedup(PLATFORM_4X_VOLTA, MECH_POLLING,
+                              16 * KiB, 2048)
+    assert cdp_fine < 0.5          # Volta CDP launches are prohibitive
+    assert cdp_coarse > 1.3
+    assert poll_fine > 1.3         # polling is fine at the same grain
+
+
+def test_pascal_peaks_in_bandwidth_bound_region():
+    for mechanism in (MECH_CDP, MECH_POLLING):
+        peak = micro_speedup(PLATFORM_4X_PASCAL, mechanism, 1 * MiB, 4096)
+        assert 1.4 < peak < 2.0  # bounded by the 2x overlap ideal
+
+
+def test_tail_bound_region_on_every_platform():
+    """One giant chunk forfeits all overlap: speedup collapses toward
+    (and below) the bulk baseline."""
+    for platform, threads in ((PLATFORM_4X_KEPLER, 256),
+                              (PLATFORM_4X_PASCAL, 4096),
+                              (PLATFORM_4X_VOLTA, 2048)):
+        giant = micro_speedup(platform, MECH_POLLING, DATA, threads)
+        tuned = micro_speedup(platform, MECH_POLLING, 256 * KiB, threads)
+        assert giant < tuned
+
+
+def test_transfer_threads_gate_interconnect_saturation():
+    """Too few transfer threads starve the links (Figure 4)."""
+    starved = micro_speedup(PLATFORM_4X_VOLTA, MECH_POLLING, 256 * KiB, 32)
+    saturated = micro_speedup(PLATFORM_4X_VOLTA, MECH_POLLING,
+                              256 * KiB, 2048)
+    assert saturated > 1.5 * starved

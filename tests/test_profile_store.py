@@ -1,0 +1,71 @@
+"""Tests for the persistent profile store."""
+
+import pytest
+
+from repro.core import MECH_CDP, MECH_POLLING, ProactConfig, Profiler
+from repro.core.cache import ProfileStore
+from repro.errors import ProactError
+from repro.hw import PLATFORM_4X_VOLTA
+from repro.units import KiB, MiB
+from repro.workloads import JacobiWorkload
+
+
+def test_in_memory_store_roundtrip():
+    store = ProfileStore()
+    config = ProactConfig(MECH_POLLING, 128 * KiB, 2048)
+    store.put("4x_volta", "Pagerank", config)
+    assert store.get("4x_volta", "Pagerank") == config
+    assert store.get("4x_volta", "SSSP") is None
+    assert ("4x_volta", "Pagerank") in store
+    assert len(store) == 1
+
+
+def test_file_store_persists(tmp_path):
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path=path)
+    config = ProactConfig(MECH_CDP, 1 * MiB, 512, poll_period=2e-6)
+    store.put("4x_kepler", "ALS", config)
+    assert path.exists()
+
+    reloaded = ProfileStore(path=path)
+    assert reloaded.get("4x_kepler", "ALS") == config
+
+
+def test_file_store_rejects_garbage(tmp_path):
+    path = tmp_path / "profiles.json"
+    path.write_text("not json at all")
+    with pytest.raises(ProactError):
+        ProfileStore(path=path)
+
+    path.write_text('{"missing-separator": {}}')
+    with pytest.raises(ProactError):
+        ProfileStore(path=path)
+
+    path.write_text('{"a::b": {"mechanism": "polling"}}')
+    with pytest.raises(ProactError):
+        ProfileStore(path=path)
+
+
+def test_get_or_profile_caches(tmp_path):
+    calls = []
+
+    class CountingProfiler(Profiler):
+        def profile(self, phase_builder):
+            calls.append(1)
+            return super().profile(phase_builder)
+
+    profiler = CountingProfiler(
+        PLATFORM_4X_VOLTA, chunk_sizes=(1 * MiB,), thread_counts=(2048,))
+    store = ProfileStore(path=tmp_path / "profiles.json")
+    workload = JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
+                              iterations=2)
+    first = store.get_or_profile(PLATFORM_4X_VOLTA, workload, profiler)
+    second = store.get_or_profile(PLATFORM_4X_VOLTA, workload, profiler)
+    assert first == second
+    assert len(calls) == 1  # second call hit the cache
+
+    # A fresh store backed by the same file also skips profiling.
+    fresh = ProfileStore(path=tmp_path / "profiles.json")
+    third = fresh.get_or_profile(PLATFORM_4X_VOLTA, workload, profiler)
+    assert third == first
+    assert len(calls) == 1

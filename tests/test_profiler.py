@@ -1,0 +1,119 @@
+"""Tests for PROACT's compile-time profiler."""
+
+import pytest
+
+from repro.core import (
+    MECH_CDP,
+    MECH_INLINE,
+    MECH_POLLING,
+    ProactConfig,
+    Profiler,
+)
+from repro.core.profiler import run_phases
+from repro.errors import ProactError
+from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
+from repro.units import KiB, MiB
+from repro.workloads import JacobiWorkload, PageRankWorkload
+
+SMALL_CHUNKS = (128 * KiB, 1 * MiB)
+SMALL_THREADS = (1024, 4096)
+
+
+def small_pagerank():
+    return PageRankWorkload(num_vertices=2_000_000, num_edges=60_000_000,
+                            iterations=2)
+
+
+def small_jacobi():
+    return JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
+                          iterations=2)
+
+
+def test_profiler_validation():
+    with pytest.raises(ProactError):
+        Profiler(PLATFORM_4X_VOLTA, search="random")
+    with pytest.raises(ProactError):
+        Profiler(PLATFORM_4X_VOLTA, chunk_sizes=())
+
+
+def test_profile_result_requires_entries():
+    from repro.core.profiler import ProfileResult
+    with pytest.raises(ProactError):
+        _ = ProfileResult(entries=[]).best
+
+
+def test_coordinate_search_entry_count():
+    profiler = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=SMALL_THREADS)
+    profile = profiler.profile(small_pagerank().phase_builder())
+    # inline: 1; per decoupled mechanism: |chunks| + |threads| - 1 = 3.
+    assert len(profile.entries) == 1 + 2 * 3
+
+
+def test_exhaustive_search_entry_count():
+    profiler = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=SMALL_THREADS, search="exhaustive")
+    profile = profiler.profile(small_pagerank().phase_builder())
+    assert len(profile.entries) == 1 + 2 * (2 * 2)
+
+
+def test_profiler_picks_decoupled_for_sporadic_writes():
+    # Paper-scale PageRank (trimmed to 2 iterations): the sporadic write
+    # order makes inline stores hopeless, so the profiler must pick a
+    # decoupled mechanism (Table II).
+    workload = PageRankWorkload(iterations=2)
+    profiler = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=SMALL_THREADS)
+    profile = profiler.profile(workload.phase_builder())
+    assert profile.best_config.mechanism in (MECH_POLLING, MECH_CDP)
+
+
+def test_profiler_picks_inline_for_dense_writes():
+    profiler = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=SMALL_THREADS)
+    profile = profiler.profile(small_jacobi().phase_builder())
+    assert profile.best_config.mechanism == MECH_INLINE
+
+
+def test_profiler_kepler_prefers_cdp_over_polling():
+    profiler = Profiler(PLATFORM_4X_KEPLER, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=(256, 1024))
+    profile = profiler.profile(small_pagerank().phase_builder())
+    cdp = profile.best_for_mechanism(MECH_CDP)
+    polling = profile.best_for_mechanism(MECH_POLLING)
+    assert cdp.runtime < polling.runtime
+
+
+def test_best_for_mechanism_unknown_rejected():
+    profiler = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                        thread_counts=SMALL_THREADS)
+    profile = profiler.profile(small_jacobi().phase_builder())
+    with pytest.raises(ProactError):
+        profile.best_for_mechanism("dma")
+
+
+def test_run_phases_deterministic():
+    config = ProactConfig(MECH_POLLING, 1 * MiB, 2048)
+    builder = small_pagerank().phase_builder()
+    first = run_phases(PLATFORM_4X_VOLTA, config, builder)
+    second = run_phases(PLATFORM_4X_VOLTA, config, builder)
+    assert first == second
+
+
+def test_run_phases_infinite_bw_flag():
+    config = ProactConfig(MECH_POLLING, 1 * MiB, 2048)
+    builder = small_pagerank().phase_builder()
+    real = run_phases(PLATFORM_4X_VOLTA, config, builder)
+    ideal = run_phases(PLATFORM_4X_VOLTA, config, builder,
+                       infinite_bw=True)
+    assert ideal < real
+
+
+def test_run_phases_instrumentation_flag():
+    config = ProactConfig(MECH_POLLING, 1 * MiB, 2048)
+    builder = small_pagerank().phase_builder()
+    with_tracking = run_phases(PLATFORM_4X_VOLTA, config, builder,
+                               elide_transfers=True)
+    without = run_phases(PLATFORM_4X_VOLTA, config, builder,
+                         elide_transfers=True, instrument=False)
+    assert with_tracking > without

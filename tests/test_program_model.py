@@ -1,0 +1,192 @@
+"""Tests for the functional PROACT programming model (Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import StridedMapping
+from repro.core.program import CtaContext, ProactDataStructure, proact_init
+from repro.errors import ProactError
+
+
+def make_ds(num_elements=64, num_gpus=4, chunk_elements=4, **kwargs):
+    return ProactDataStructure(num_elements, num_gpus, chunk_elements,
+                               **kwargs)
+
+
+def fill_kernel(ctx: CtaContext) -> None:
+    """Each CTA fills its mapped chunks with f(index)."""
+    for chunk in sorted(ctx.allowed_chunks):
+        start, stop = ctx.chunk_range(chunk)
+        ctx.write(start, np.arange(start, stop, dtype=np.float64) * 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Protocol happy path
+# ---------------------------------------------------------------------------
+
+def test_full_protocol_produces_coherent_region():
+    ds = proact_init(make_ds(), num_ctas=4)
+    for gpu in range(4):
+        ds.run_producer_kernel(gpu, fill_kernel)
+    ds.barrier()
+    expected = np.arange(64, dtype=np.float64) * 2.0
+    for gpu in range(4):
+        assert np.array_equal(ds.region.local(gpu), expected)
+
+
+def test_counters_initialized_to_writer_counts():
+    ds = make_ds(num_elements=64, num_gpus=2, chunk_elements=4)
+    ds.init(num_ctas=8)
+    # Each GPU owns 8 chunks written by 8 CTAs contiguously: 1 writer per
+    # chunk.
+    assert ds.counters(0) == [1] * 8
+    assert ds.counters(1) == [1] * 8
+
+
+def test_chunks_visible_remotely_before_barrier():
+    """The proactive push: peers see completed chunks mid-kernel."""
+    ds = proact_init(make_ds(num_gpus=2, num_elements=32), num_ctas=4)
+    ds.run_producer_kernel(0, fill_kernel)
+    # No barrier yet — but GPU 0's owned chunks are already on GPU 1.
+    first, stop = ds.owned_chunks(0)
+    for chunk in range(first, stop):
+        assert ds.is_chunk_visible_at(peer=1, gpu=0, chunk=chunk)
+    # GPU 1 has not produced, so the barrier must refuse.
+    with pytest.raises(ProactError, match="unproduced"):
+        ds.barrier()
+
+
+def test_transfer_log_counts_every_chunk_once():
+    ds = proact_init(make_ds(), num_ctas=4)
+    for gpu in range(4):
+        ds.run_producer_kernel(gpu, fill_kernel)
+    ds.barrier()
+    assert len(ds.transfers) == ds.num_chunks
+    pushed_chunks = sorted(chunk for _gpu, chunk, _n in ds.transfers)
+    assert pushed_chunks == list(range(ds.num_chunks))
+    assert ds.bytes_transferred == 64 * 8  # every element, once
+
+
+def test_chunk_pushed_exactly_when_last_writer_finishes():
+    """With a strided mapping, a chunk waits for its final CTA."""
+    ds = make_ds(num_elements=16, num_gpus=1, chunk_elements=8,
+                 mapping_factory=StridedMapping)
+    ds.init(num_ctas=4)  # CTAs 0&2 -> chunk 0, CTAs 1&3 -> chunk 1
+    order = []
+    original_push = ds._push_chunk
+
+    def traced_push(gpu, chunk):
+        order.append(chunk)
+        original_push(gpu, chunk)
+
+    ds._push_chunk = traced_push
+
+    def half_kernel(ctx):
+        for chunk in sorted(ctx.allowed_chunks):
+            start, stop = ctx.chunk_range(chunk)
+            half = (stop - start) // 2
+            offset = start if ctx.cta_index < 2 else start + half
+            ctx.write(offset, np.full(half, float(ctx.cta_index)))
+
+    ds.run_producer_kernel(0, half_kernel)
+    # Chunk 0 completes at CTA 2; chunk 1 at CTA 3.
+    assert order == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic-writes enforcement
+# ---------------------------------------------------------------------------
+
+def test_write_outside_mapping_rejected():
+    ds = proact_init(make_ds(num_gpus=2, num_elements=32), num_ctas=4)
+
+    def rogue_kernel(ctx):
+        # Write into a chunk this CTA does not own.
+        ctx.write(0 if 0 not in ctx.allowed_chunks else 28,
+                  np.ones(2))
+
+    with pytest.raises(ProactError, match="deterministic"):
+        ds.run_producer_kernel(1, rogue_kernel)
+
+
+def test_write_outside_region_rejected():
+    ds = proact_init(make_ds(num_gpus=1), num_ctas=4)
+
+    def overflow_kernel(ctx):
+        ctx.write(62, np.ones(8))
+
+    with pytest.raises(ProactError, match="outside region"):
+        ds.run_producer_kernel(0, overflow_kernel)
+
+
+def test_chunk_range_for_unmapped_chunk_rejected():
+    ds = proact_init(make_ds(num_gpus=2, num_elements=32), num_ctas=4)
+
+    def nosy_kernel(ctx):
+        ctx.chunk_range(ds.num_chunks - 1 if 0 in ctx.allowed_chunks else 0)
+
+    with pytest.raises(ProactError, match="outside"):
+        ds.run_producer_kernel(0, nosy_kernel)
+
+
+# ---------------------------------------------------------------------------
+# Construction and sequencing errors
+# ---------------------------------------------------------------------------
+
+def test_validation():
+    with pytest.raises(ProactError):
+        ProactDataStructure(0, 2, 4)
+    with pytest.raises(ProactError):
+        ProactDataStructure(16, 2, 0)
+    with pytest.raises(ProactError):
+        ProactDataStructure(8, 4, 8)  # 1 chunk over 4 producers
+    ds = make_ds()
+    with pytest.raises(ProactError):
+        ds.run_producer_kernel(0, fill_kernel)  # before init
+    with pytest.raises(ProactError):
+        ds.barrier()
+    with pytest.raises(ProactError):
+        ds.init(num_ctas=0)
+    with pytest.raises(ProactError):
+        ds.owned_chunks(9)
+
+
+def test_uneven_chunk_partition():
+    ds = make_ds(num_elements=44, num_gpus=4, chunk_elements=4)  # 11 chunks
+    spans = [ds.owned_chunks(gpu) for gpu in range(4)]
+    covered = []
+    for first, stop in spans:
+        covered.extend(range(first, stop))
+    assert covered == list(range(11))
+
+
+def test_tail_chunk_bounds():
+    ds = make_ds(num_elements=30, num_gpus=2, chunk_elements=8)
+    assert ds.num_chunks == 4
+    assert ds.chunk_bounds(3) == (24, 30)
+
+
+def test_functional_and_timing_layers_agree_on_bytes():
+    """Cross-layer consistency: the functional protocol pushes exactly
+    the bytes the timing layer's region accounting predicts."""
+    from repro.core import ProactRegion
+
+    num_elements, num_gpus, chunk_elements = 96, 4, 8
+    ds = proact_init(
+        ProactDataStructure(num_elements, num_gpus, chunk_elements),
+        num_ctas=6)
+    for gpu in range(num_gpus):
+        ds.run_producer_kernel(gpu, fill_kernel)
+    ds.barrier()
+    element_bytes = np.dtype(np.float64).itemsize
+    # Timing-layer view: one region per GPU covering its owned elements.
+    predicted = 0
+    for gpu in range(num_gpus):
+        first, stop = ds.owned_chunks(gpu)
+        owned_elements = (ds.chunk_bounds(stop - 1)[1]
+                          - ds.chunk_bounds(first)[0])
+        region = ProactRegion(owned_elements * element_bytes,
+                              chunk_elements * element_bytes)
+        predicted += sum(region.chunk_bytes(k)
+                         for k in range(region.num_chunks))
+    assert ds.bytes_transferred == predicted == num_elements * element_bytes

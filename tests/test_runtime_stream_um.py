@@ -1,0 +1,227 @@
+"""Unit tests for streams, the allocator, kernel specs, and unified memory."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryError_, RuntimeApiError
+from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
+from repro.runtime import (
+    CTA_RETIREMENT_SPREAD,
+    MemoryAllocator,
+    KernelSpec,
+    Stream,
+    System,
+    UM_FAULT_BATCH,
+    UM_FAULT_PAGE_SIZE,
+    UM_PAGE_SIZE,
+    UnifiedMemoryModel,
+)
+from repro.units import GiB, MiB
+
+
+# ---------------------------------------------------------------------------
+# Streams
+# ---------------------------------------------------------------------------
+
+def test_stream_runs_operations_in_order():
+    system = System(PLATFORM_4X_VOLTA)
+    device = system.device(0)
+    stream = Stream(device)
+    order = []
+
+    def op(tag, work):
+        def start():
+            order.append(tag)
+            return device.launch_kernel(tag, work=work).done
+        return start
+
+    stream.submit(op("first", 2e-4))
+    stream.submit(op("second", 1e-4))
+    sync = stream.synchronize()
+    system.run(until=sync)
+    assert order == ["first", "second"]
+    assert stream.pending == 0
+
+
+def test_stream_completion_events_fire_with_results():
+    system = System(PLATFORM_4X_VOLTA)
+    device = system.device(0)
+    stream = Stream(device)
+    done = stream.submit(lambda: device.memcpy_peer(system.device(1), 1024))
+    receipt = system.run(until=done)
+    assert receipt.payload_bytes == 1024
+
+
+def test_stream_synchronize_when_idle_fires_immediately():
+    system = System(PLATFORM_4X_VOLTA)
+    stream = Stream(system.device(0))
+    assert stream.synchronize().triggered
+
+
+# ---------------------------------------------------------------------------
+# KernelSpec
+# ---------------------------------------------------------------------------
+
+def test_kernel_spec_wave_math():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    # Volta: 80 SMs * 16 CTAs = 1280 concurrent.
+    spec = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=2560)
+    assert spec.concurrent_ctas(gpu) == 1280
+    assert spec.num_waves(gpu) == 2
+    # Wave 0's first CTA retires at the start of the wave's retirement
+    # window; its last CTA exactly at the wave boundary.
+    first = spec.cta_finish_fraction(gpu, 0)
+    assert (1 - CTA_RETIREMENT_SPREAD) / 2 < first < 0.5
+    assert spec.cta_finish_fraction(gpu, 1279) == pytest.approx(0.5)
+    assert spec.cta_finish_fraction(gpu, 1280) > 0.5
+    assert spec.cta_finish_fraction(gpu, 2559) == pytest.approx(1.0)
+
+
+def test_kernel_spec_single_wave_retirement_spread():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    spec = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=100)
+    assert spec.num_waves(gpu) == 1
+    # Retirement spreads over the wave's final window, ending at 1.0.
+    assert spec.cta_finish_fraction(gpu, 99) == pytest.approx(1.0)
+    assert spec.cta_finish_fraction(gpu, 0) == pytest.approx(
+        1 - CTA_RETIREMENT_SPREAD + CTA_RETIREMENT_SPREAD / 100)
+
+
+def test_kernel_spec_fractions_monotone_in_schedule_order():
+    system = System(PLATFORM_4X_VOLTA)
+    gpu = system.gpus[0]
+    spec = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=3000)
+    fractions = [spec.cta_finish_fraction(gpu, i)
+                 for i in range(0, 3000, 37)]
+    assert fractions == sorted(fractions)
+    assert spec.cta_finish_fraction(gpu, 2999) == pytest.approx(1.0)
+
+
+def test_kernel_spec_validation():
+    with pytest.raises(ConfigurationError):
+        KernelSpec("k", flops=-1, local_bytes=0, num_ctas=1)
+    with pytest.raises(ConfigurationError):
+        KernelSpec("k", flops=0, local_bytes=0, num_ctas=0)
+    system = System(PLATFORM_4X_VOLTA)
+    spec = KernelSpec("k", flops=1e9, local_bytes=0, num_ctas=4)
+    with pytest.raises(ConfigurationError):
+        spec.cta_finish_fraction(system.gpus[0], 4)
+
+
+# ---------------------------------------------------------------------------
+# Allocator
+# ---------------------------------------------------------------------------
+
+def test_allocator_tracks_usage_and_capacity():
+    system = System(PLATFORM_4X_VOLTA)
+    allocator = MemoryAllocator(system)
+    allocation = allocator.alloc(system.device(0), 4 * GiB, "matrix")
+    assert allocator.used(0) == 4 * GiB
+    assert allocator.free(0) == system.spec.gpu.mem_capacity - 4 * GiB
+    allocator.release(allocation)
+    assert allocator.used(0) == 0
+
+
+def test_allocator_rejects_oversized():
+    system = System(PLATFORM_4X_VOLTA)
+    allocator = MemoryAllocator(system)
+    with pytest.raises(MemoryError_):
+        allocator.alloc(system.device(0), 33 * GiB, "too-big")
+
+
+def test_allocator_replicated():
+    system = System(PLATFORM_4X_VOLTA)
+    allocator = MemoryAllocator(system)
+    allocations = allocator.alloc_replicated(1 * GiB, "shared")
+    assert len(allocations) == 4
+    assert all(allocator.used(i) == 1 * GiB for i in range(4))
+
+
+def test_allocator_double_release_rejected():
+    system = System(PLATFORM_4X_VOLTA)
+    allocator = MemoryAllocator(system)
+    allocation = allocator.alloc(system.device(0), 1024)
+    allocator.release(allocation)
+    with pytest.raises(MemoryError_):
+        allocator.release(allocation)
+
+
+# ---------------------------------------------------------------------------
+# Unified memory
+# ---------------------------------------------------------------------------
+
+def test_um_prefetch_is_bulk_like():
+    system = System(PLATFORM_4X_VOLTA)
+    um = UnifiedMemoryModel(system)
+    nbytes = 64 * MiB
+    system.run(until=um.prefetch(system.device(1), system.device(0), nbytes))
+    prefetch_time = system.now
+
+    system2 = System(PLATFORM_4X_VOLTA)
+    system2.run(until=system2.device(0).memcpy_peer(system2.device(1), nbytes))
+    memcpy_time = system2.now
+    assert prefetch_time == pytest.approx(memcpy_time, rel=0.01)
+
+
+def test_um_demand_migration_slower_than_prefetch():
+    nbytes = 16 * MiB
+
+    system = System(PLATFORM_4X_VOLTA)
+    um = UnifiedMemoryModel(system)
+    system.run(until=um.demand_migrate(
+        system.device(1), system.device(0), nbytes))
+    fault_time = system.now
+
+    system2 = System(PLATFORM_4X_VOLTA)
+    um2 = UnifiedMemoryModel(system2)
+    system2.run(until=um2.prefetch(system2.device(1), system2.device(0),
+                                   nbytes))
+    prefetch_time = system2.now
+    assert fault_time > 1.5 * prefetch_time
+
+
+def test_um_demand_migration_accounts_faults():
+    system = System(PLATFORM_4X_VOLTA)
+    um = UnifiedMemoryModel(system)
+    nbytes = UM_FAULT_PAGE_SIZE * UM_FAULT_BATCH * 3
+    system.run(until=um.demand_migrate(
+        system.device(1), system.device(0), nbytes))
+    assert um.pages_faulted == UM_FAULT_BATCH * 3
+    assert um.bytes_migrated == nbytes
+
+
+def test_um_legacy_mirror_on_kepler_is_much_slower():
+    nbytes = 32 * MiB
+
+    system = System(PLATFORM_4X_KEPLER)
+    um = UnifiedMemoryModel(system)
+    system.run(until=um.migrate(system.device(1), system.device(0), nbytes,
+                                hinted=True))
+    legacy_time = system.now
+
+    # Even with hints, Kepler's legacy path ignores them.
+    system2 = System(PLATFORM_4X_KEPLER)
+    system2.run(until=system2.device(0).memcpy_peer(system2.device(1),
+                                                    nbytes))
+    memcpy_time = system2.now
+    assert legacy_time > 1.8 * memcpy_time
+
+
+def test_um_migrate_dispatch_modern():
+    system = System(PLATFORM_4X_VOLTA)
+    um = UnifiedMemoryModel(system)
+    system.run(until=um.migrate(system.device(1), system.device(0),
+                                8 * MiB, hinted=False))
+    assert um.pages_faulted > 0
+
+
+def test_um_negative_sizes_rejected():
+    system = System(PLATFORM_4X_VOLTA)
+    um = UnifiedMemoryModel(system)
+    with pytest.raises(RuntimeApiError):
+        um.prefetch(system.device(1), system.device(0), -1)
+    with pytest.raises(RuntimeApiError):
+        um.demand_migrate(system.device(1), system.device(0), -1)
+    with pytest.raises(RuntimeApiError):
+        um.legacy_mirror(system.device(1), system.device(0), -1)

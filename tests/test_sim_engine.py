@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine, Event
+
+
+def test_clock_starts_at_zero():
+    engine = Engine()
+    assert engine.now == 0.0
+
+
+def test_clock_custom_start():
+    engine = Engine(start_time=5.0)
+    assert engine.now == 5.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    engine.timeout(2.5)
+    engine.run()
+    assert engine.now == 2.5
+
+
+def test_timeout_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    engine = Engine()
+    engine.timeout(1.0)
+    engine.timeout(10.0)
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+
+
+def test_run_until_past_time_rejected():
+    engine = Engine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=5.0)
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+
+    def waiter(engine, delay, tag):
+        yield engine.timeout(delay)
+        fired.append(tag)
+
+    engine.process(waiter(engine, 3.0, "c"))
+    engine.process(waiter(engine, 1.0, "a"))
+    engine.process(waiter(engine, 2.0, "b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo_order():
+    engine = Engine()
+    fired = []
+
+    def waiter(engine, tag):
+        yield engine.timeout(1.0)
+        fired.append(tag)
+
+    for tag in ("first", "second", "third"):
+        engine.process(waiter(engine, tag))
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_step_on_empty_heap_raises_deadlock():
+    engine = Engine()
+    with pytest.raises(DeadlockError):
+        engine.step()
+
+
+def test_run_until_event_returns_value():
+    engine = Engine()
+
+    def producer(engine):
+        yield engine.timeout(4.0)
+        return 42
+
+    proc = engine.process(producer(engine))
+    assert engine.run(until=proc) == 42
+    assert engine.now == 4.0
+
+
+def test_run_until_unreachable_event_deadlocks():
+    engine = Engine()
+    orphan = engine.event()
+    with pytest.raises(DeadlockError):
+        engine.run(until=orphan)
+
+
+def test_event_succeed_value():
+    engine = Engine()
+    event = engine.event()
+    event.succeed("payload")
+    engine.run()
+    assert event.ok
+    assert event.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    engine = Engine()
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_value_before_trigger_rejected():
+    engine = Engine()
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_event_fail_requires_exception():
+    engine = Engine()
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_failed_event_raises_in_run():
+    engine = Engine()
+    event = engine.event()
+    event.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()
+
+
+def test_all_of_collects_values():
+    engine = Engine()
+    t1 = engine.timeout(1.0, value="one")
+    t2 = engine.timeout(2.0, value="two")
+    both = engine.all_of([t1, t2])
+    result = engine.run(until=both)
+    assert set(result.values()) == {"one", "two"}
+    assert engine.now == 2.0
+
+
+def test_any_of_fires_on_first():
+    engine = Engine()
+    t1 = engine.timeout(1.0, value="fast")
+    t2 = engine.timeout(5.0, value="slow")
+    either = engine.any_of([t1, t2])
+    result = engine.run(until=either)
+    assert list(result.values()) == ["fast"]
+    assert engine.now == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    engine = Engine()
+    both = engine.all_of([])
+    assert both.triggered
+
+
+def test_condition_rejects_foreign_events():
+    engine_a = Engine()
+    engine_b = Engine()
+    t_foreign = engine_b.timeout(1.0)
+    with pytest.raises(SimulationError):
+        engine_a.all_of([t_foreign])
+
+
+def test_schedule_negative_delay_rejected():
+    engine = Engine()
+    event = Event(engine)
+    with pytest.raises(SimulationError):
+        engine.schedule(event, delay=-0.1)
+
+
+def test_peek_reports_next_event_time():
+    engine = Engine()
+    assert engine.peek() == float("inf")
+    engine.timeout(7.0)
+    assert engine.peek() == 7.0
+
+
+def test_all_of_fails_when_constituent_fails():
+    engine = Engine()
+
+    def failing(engine):
+        yield engine.timeout(1.0)
+        raise ValueError("constituent died")
+
+    def ok(engine):
+        yield engine.timeout(5.0)
+
+    both = engine.all_of([engine.process(failing(engine)),
+                          engine.process(ok(engine))])
+
+    def waiter(engine, both):
+        try:
+            yield both
+        except ValueError as exc:
+            return f"saw: {exc}"
+
+    proc = engine.process(waiter(engine, both))
+    engine.run()
+    assert proc.value == "saw: constituent died"
+
+
+def test_any_of_fails_fast_on_failure():
+    engine = Engine()
+
+    def failing(engine):
+        yield engine.timeout(1.0)
+        raise RuntimeError("early failure")
+
+    either = engine.any_of([engine.process(failing(engine)),
+                            engine.timeout(10.0)])
+
+    def waiter(engine, either):
+        try:
+            yield either
+        except RuntimeError:
+            return engine.now
+
+    proc = engine.process(waiter(engine, either))
+    engine.run()
+    assert proc.value == 1.0
+
+
+def test_nested_conditions():
+    engine = Engine()
+    t1 = engine.timeout(1.0, value="a")
+    t2 = engine.timeout(2.0, value="b")
+    t3 = engine.timeout(3.0, value="c")
+    inner = engine.all_of([t1, t2])
+    outer = engine.any_of([inner, t3])
+    result = engine.run(until=outer)
+    assert engine.now == 2.0
+    assert inner in result

@@ -1,0 +1,94 @@
+"""Tests for tracing and statistics utilities."""
+
+import pytest
+
+from repro.sim import NULL_TRACER, CounterStats, IntervalStats, Tracer
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_tracer_records_and_filters():
+    tracer = Tracer()
+    tracer.record(0.0, "kernel", "start", payload={"gpu": 0})
+    tracer.record(1.0, "kernel", "end")
+    tracer.record(0.5, "xfer", "chunk")
+    assert len(tracer.records) == 3
+    assert [r.label for r in tracer.channel("kernel")] == ["start", "end"]
+    assert tracer.count("kernel") == 2
+    assert tracer.count("kernel", label="start") == 1
+    assert tracer.count("missing") == 0
+
+
+def test_tracer_disabled_is_free():
+    tracer = Tracer(enabled=False)
+    tracer.record(0.0, "kernel", "start")
+    assert tracer.records == ()
+
+
+def test_null_tracer_shared_and_disabled():
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.record(0.0, "x", "y")
+    assert NULL_TRACER.records == ()
+
+
+def test_tracer_clear():
+    tracer = Tracer()
+    tracer.record(0.0, "a", "b")
+    tracer.clear()
+    assert tracer.records == ()
+
+
+# ---------------------------------------------------------------------------
+# IntervalStats
+# ---------------------------------------------------------------------------
+
+def test_interval_stats_merges_overlaps():
+    stats = IntervalStats()
+    stats.add(0.0, 2.0)
+    stats.add(1.0, 3.0)   # overlaps the first
+    stats.add(5.0, 6.0)   # disjoint
+    assert stats.busy_time() == pytest.approx(4.0)
+    assert stats.span() == pytest.approx(6.0)
+
+
+def test_interval_stats_out_of_order_input():
+    stats = IntervalStats()
+    stats.add(5.0, 6.0)
+    stats.add(0.0, 1.0)
+    assert stats.busy_time() == pytest.approx(2.0)
+
+
+def test_interval_stats_empty():
+    stats = IntervalStats()
+    assert stats.busy_time() == 0.0
+    assert stats.span() == 0.0
+
+
+def test_interval_stats_rejects_reversed():
+    stats = IntervalStats()
+    with pytest.raises(ValueError):
+        stats.add(2.0, 1.0)
+
+
+def test_interval_stats_adjacent_intervals():
+    stats = IntervalStats()
+    stats.add(0.0, 1.0)
+    stats.add(1.0, 2.0)  # touching, not overlapping
+    assert stats.busy_time() == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# CounterStats
+# ---------------------------------------------------------------------------
+
+def test_counter_stats_accumulate():
+    stats = CounterStats()
+    stats.add("bytes", 100)
+    stats.add("bytes", 50)
+    stats.add("packets")
+    assert stats.get("bytes") == 150
+    assert stats.get("packets") == 1
+    assert stats.get("missing") == 0
+    assert stats.as_dict() == {"bytes": 150, "packets": 1}

@@ -1,0 +1,66 @@
+"""Tests for the Heat2D stencil workload (library extension)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import PLATFORM_4X_VOLTA
+from repro.paradigms import (
+    BulkMemcpyParadigm,
+    InfiniteBandwidthParadigm,
+    ProactInlineParadigm,
+    UnifiedMemoryParadigm,
+)
+from repro.runtime import System
+from repro.workloads import Heat2DWorkload
+from repro.workloads.stencil2d import _heat_partitioned, _initial_grid
+
+
+def test_functional_partition_invariance():
+    for partitions in (1, 2, 3, 4):
+        check = Heat2DWorkload().verify_functional(
+            num_partitions=partitions)
+        assert check.passed, partitions
+
+
+def test_heat_spreads_downward_over_time():
+    short = _heat_partitioned(side=32, iterations=5, num_partitions=2)
+    long = _heat_partitioned(side=32, iterations=40, num_partitions=2)
+    # Heat moves one row per sweep: after 5 sweeps row 3 is warm but
+    # row 8 still cold; after 40 sweeps row 8 has warmed too.
+    assert short[3, 16] > 0.0
+    assert short[8, 16] == 0.0
+    assert long[8, 16] > 0.0
+    assert long[3, 16] > short[3, 16]
+
+
+def test_boundaries_fixed():
+    grid = _heat_partitioned(side=24, iterations=15, num_partitions=3)
+    assert np.allclose(grid[0, :], _initial_grid(24)[0, :])
+
+
+def test_timing_layer_exchanges_halo_bands_only():
+    workload = Heat2DWorkload(grid_side=16_384, exchange_rows=64)
+    works = workload.build_phases(System(PLATFORM_4X_VOLTA))[0]
+    block_bytes = (16_384 // 4) * 16_384 * 8
+    band_bytes = 2 * 64 * 16_384 * 8
+    assert works[0].region_bytes == band_bytes
+    assert works[0].region_bytes < 0.05 * block_bytes
+    # Only the two adjacent blocks consume the halos.
+    assert works[0].peer_fraction == pytest.approx(2 / 3)
+
+
+def test_paradigm_shapes():
+    workload = Heat2DWorkload()
+    platform = PLATFORM_4X_VOLTA
+    reference = InfiniteBandwidthParadigm().execute(
+        workload, platform.with_num_gpus(1)).runtime
+
+    def speedup(paradigm):
+        return reference / paradigm.execute(workload, platform).runtime
+
+    memcpy = speedup(BulkMemcpyParadigm())
+    um = speedup(UnifiedMemoryParadigm())
+    inline = speedup(ProactInlineParadigm())
+    # Dense, regular writes: inline PROACT leads; UM's touch-only halo
+    # migration beats wholesale duplication.
+    assert inline > um > memcpy > 2.0

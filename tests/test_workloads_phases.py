@@ -1,0 +1,157 @@
+"""Timing-layer tests: phase construction, scaling, and attributes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw import PLATFORM_4X_VOLTA, PLATFORM_16X_VOLTA
+from repro.runtime import System
+from repro.workloads import (
+    MicroBenchmark,
+    consumer_peer_fraction,
+    default_workloads,
+    imbalance_factor,
+    memcpy_duplication_time,
+    strip_final_phase_regions,
+)
+from repro.units import MiB
+
+
+# ---------------------------------------------------------------------------
+# Generic phase invariants for every paper workload
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_phases_match_system_width(workload):
+    system = System(PLATFORM_4X_VOLTA)
+    phases = workload.build_phases(system)
+    assert len(phases) >= 2
+    for works in phases:
+        assert len(works) == system.num_gpus
+
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_final_phase_has_no_region(workload):
+    system = System(PLATFORM_4X_VOLTA)
+    phases = workload.build_phases(system)
+    assert all(work.region_bytes == 0 for work in phases[-1])
+    # Non-final phases do communicate.
+    assert any(work.region_bytes > 0 for work in phases[0])
+
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_single_gpu_phases_have_no_communication(workload):
+    system = System(PLATFORM_4X_VOLTA, num_gpus=1)
+    phases = workload.build_phases(system)
+    for works in phases:
+        assert all(work.region_bytes == 0 for work in works)
+
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_strong_scaling_divides_work(workload):
+    work_4 = workload.build_phases(System(PLATFORM_4X_VOLTA))[0][0]
+    work_16 = workload.build_phases(
+        System(PLATFORM_16X_VOLTA))[0][0]
+    # Per-GPU work shrinks roughly 4x going from 4 to 16 GPUs.
+    assert work_16.kernel.flops == pytest.approx(
+        work_4.kernel.flops / 4, rel=0.1)
+    if workload.name == "X-ray CT":
+        # CT publishes the full update image regardless of GPU count
+        # (a reduction, not a partition), so its region is constant.
+        assert work_16.region_bytes == work_4.region_bytes
+    else:
+        assert work_16.region_bytes == pytest.approx(
+            work_4.region_bytes / 4, rel=0.1)
+
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_imbalance_is_monotone_across_gpus(workload):
+    works = workload.build_phases(System(PLATFORM_4X_VOLTA))[0]
+    flops = [work.kernel.flops for work in works]
+    assert flops == sorted(flops)
+    assert flops[-1] > flops[0]
+
+
+@pytest.mark.parametrize("workload", default_workloads(),
+                         ids=lambda w: w.name)
+def test_um_attributes_in_range(workload):
+    assert 0.0 <= workload.um_hint_fraction <= 1.0
+    assert 0.0 < workload.um_touch_fraction <= 1.0
+
+
+def test_locality_classes_match_table2_story():
+    """Dense-write apps carry high locality; sporadic apps low."""
+    by_name = {w.name: w.build_phases(System(PLATFORM_4X_VOLTA))[0][0]
+               for w in default_workloads()}
+    for dense in ("X-ray CT", "Jacobi"):
+        assert by_name[dense].spatial_locality >= 0.9
+    for sporadic in ("Pagerank", "SSSP", "ALS"):
+        assert by_name[sporadic].spatial_locality <= 0.2
+        assert by_name[sporadic].readiness_shape > 1.5
+
+
+# ---------------------------------------------------------------------------
+# Helper functions
+# ---------------------------------------------------------------------------
+
+def test_imbalance_factor_bounds():
+    assert imbalance_factor(0, 4, 0.12) == 1.0
+    assert imbalance_factor(3, 4, 0.12) == pytest.approx(1.12)
+    assert imbalance_factor(0, 1, 0.5) == 1.0
+    with pytest.raises(WorkloadError):
+        imbalance_factor(0, 4, 1.5)
+
+
+def test_consumer_peer_fraction_regimes():
+    assert consumer_peer_fraction(2) == 1.0
+    assert consumer_peer_fraction(4) == 1.0
+    assert consumer_peer_fraction(8) == pytest.approx(3 / 7)
+    assert consumer_peer_fraction(16, floor=0.2) == pytest.approx(0.2)
+    assert consumer_peer_fraction(16, floor=0.35) == pytest.approx(0.35)
+    with pytest.raises(WorkloadError):
+        consumer_peer_fraction(8, floor=0.0)
+
+
+def test_strip_final_phase_regions_empty():
+    assert strip_final_phase_regions([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmark tuning
+# ---------------------------------------------------------------------------
+
+def test_micro_compute_tuned_to_memcpy_transfer_time():
+    system = System(PLATFORM_4X_VOLTA)
+    micro = MicroBenchmark(data_bytes=64 * MiB)
+    phases = micro.build_phases(system)
+    producer = phases[0][0]
+    gpu = system.gpus[0]
+    compute = producer.kernel.uncontended_time(gpu)
+    transfer = memcpy_duplication_time(system, 64 * MiB)
+    assert compute == pytest.approx(transfer, rel=1e-9)
+
+
+def test_micro_cta_generates_4kb():
+    micro = MicroBenchmark(data_bytes=64 * MiB)
+    system = System(PLATFORM_4X_VOLTA)
+    producer = micro.build_phases(system)[0][0]
+    assert producer.kernel.num_ctas == 64 * MiB // 4096
+
+
+def test_micro_only_source_gpu_communicates():
+    micro = MicroBenchmark(data_bytes=64 * MiB)
+    works = micro.build_phases(System(PLATFORM_4X_VOLTA))[0]
+    assert works[0].region_bytes == 64 * MiB
+    assert all(work.region_bytes == 0 for work in works[1:])
+
+
+def test_memcpy_duplication_time_scales_with_destinations():
+    system4 = System(PLATFORM_16X_VOLTA, num_gpus=4)
+    system16 = System(PLATFORM_16X_VOLTA, num_gpus=16)
+    t4 = memcpy_duplication_time(system4, 64 * MiB)
+    t16 = memcpy_duplication_time(system16, 64 * MiB)
+    assert t16 == pytest.approx(t4 * 15 / 3, rel=0.01)
