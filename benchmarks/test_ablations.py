@@ -5,7 +5,7 @@ discussion makes qualitatively (Sections II-B, III-D, V-C).
 """
 
 from repro.experiments import ablations
-from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
+from repro.hw import PLATFORM_4X_VOLTA
 from repro.units import KiB, MiB
 
 

@@ -1,0 +1,53 @@
+"""Benchmark: parallel experiment runner vs. serial, on a quick subset.
+
+Records the first datapoint of the runner's bench trajectory
+(``benchmarks/results/BENCH_runner_parallel.json``): serial and
+parallel wall time for the same subset, the speedup, and proof that the
+parallel run reproduced the serial tables byte-for-byte.
+"""
+
+import io
+import json
+import time
+
+from repro.experiments import runner
+
+#: A cheap-but-representative subset: a pure-lookup table, an analytic
+#: curve, and one simulation-backed harness.
+BENCH_SUBSET = ("table1", "fig1", "fig2")
+BENCH_JOBS = 2
+
+
+def _tables_text(results) -> str:
+    return "\n\n".join("\n\n".join(result.tables) for result in results)
+
+
+def test_runner_parallel_smoke(benchmark, results_dir):
+    started = time.perf_counter()
+    serial = runner.run_all(quick=True, out=io.StringIO(),
+                            only=BENCH_SUBSET)
+    serial_s = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        runner.run_all,
+        kwargs={"quick": True, "out": io.StringIO(),
+                "jobs": BENCH_JOBS, "only": BENCH_SUBSET},
+        rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    # The parallel run must reproduce the serial tables byte-for-byte.
+    assert _tables_text(parallel) == _tables_text(serial)
+    assert [r.name for r in parallel] == [r.name for r in serial]
+    assert [r.scalars for r in parallel] == [r.scalars for r in serial]
+
+    datapoint = {
+        "benchmark": "runner_parallel",
+        "subset": list(BENCH_SUBSET),
+        "jobs": BENCH_JOBS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "identical_output": True,
+    }
+    path = results_dir / "BENCH_runner_parallel.json"
+    path.write_text(json.dumps(datapoint, indent=2, sort_keys=True) + "\n")

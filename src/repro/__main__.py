@@ -1,13 +1,13 @@
 """``python -m repro`` — regenerate the paper's evaluation.
 
-Flags:
-    --full   use the paper's full microbenchmark size and profiler grids
-             (slower; defaults to the quick configuration).
+Delegates to :mod:`repro.experiments.runner`; see ``--help`` for the
+full flag set (``--full``, ``--jobs N``, ``--only NAME``,
+``--json PATH``, ``--list``).
 """
 
-from repro.experiments.runner import run_all
+import sys
+
+from repro.experiments.runner import main
 
 if __name__ == "__main__":
-    import sys
-
-    run_all(quick="--full" not in sys.argv)
+    sys.exit(main())

@@ -38,10 +38,15 @@ from repro.core.program import (
     proact_init,
 )
 from repro.core.profiler import (
+    ExecutorBackend,
+    ParallelProfiler,
     PhaseBuilder,
+    ProcessPoolBackend,
     ProfileEntry,
     Profiler,
     ProfileResult,
+    SerialBackend,
+    measure_config,
     run_phases,
 )
 from repro.core.region import ChunkReadiness, ProactRegion
@@ -91,6 +96,11 @@ __all__ = [
     "PhaseResult",
     "ProactPhaseExecutor",
     "Profiler",
+    "ParallelProfiler",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "measure_config",
     "ProfileStore",
     "ProactDataStructure",
     "CtaContext",

@@ -3,11 +3,17 @@
 The paper's framework runs the profiler once per application/platform and
 bakes the chosen configuration into the compiled binary.  This module is
 that artifact for the library: a JSON-backed store mapping
-``(platform, workload)`` to the profiled :class:`ProactConfig`, so
-repeated runs skip the sweep.
+``(platform, workload, sweep signature)`` to the profiled
+:class:`ProactConfig`, so repeated runs skip the sweep.
 
     store = ProfileStore(path=".proact_profiles.json")
     config = store.get_or_profile(platform, workload, profiler)
+
+The *sweep signature* (:meth:`Profiler.sweep_signature`) identifies the
+full search space — mechanisms, grids, and search mode — so sweeps over
+different grids never collide in the store, and every worker of a
+parallel sweep (or a parallel experiment runner) shares hits with its
+serial twin: the signature deliberately excludes the executor backend.
 """
 
 from __future__ import annotations
@@ -25,7 +31,11 @@ from repro.hw.platform import PlatformSpec
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.base import Workload
 
-_Key = Tuple[str, str]
+#: ``(platform, workload, sweep signature)``; the empty signature is the
+#: legacy "whatever grid profiled this" namespace.
+_Key = Tuple[str, str, str]
+
+_KEY_SEPARATOR = "::"
 
 
 def _config_to_dict(config: ProactConfig) -> Dict:
@@ -62,31 +72,43 @@ class ProfileStore:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: _Key) -> bool:
-        return key in self._entries
+    def __contains__(self, key: Union[Tuple[str, str], _Key]) -> bool:
+        return self._normalize(key) in self._entries
+
+    @staticmethod
+    def _normalize(key: Union[Tuple[str, str], _Key]) -> _Key:
+        if len(key) == 2:
+            return (key[0], key[1], "")
+        return typing.cast(_Key, tuple(key))
 
     def get(self, platform_name: str, workload_name: str,
-            ) -> Optional[ProactConfig]:
+            signature: str = "") -> Optional[ProactConfig]:
         """The stored configuration, or ``None`` if never profiled."""
-        return self._entries.get((platform_name, workload_name))
+        return self._entries.get((platform_name, workload_name, signature))
 
     def put(self, platform_name: str, workload_name: str,
-            config: ProactConfig) -> None:
+            config: ProactConfig, signature: str = "") -> None:
         """Store (and persist, when backed by a file) a configuration."""
-        self._entries[(platform_name, workload_name)] = config
+        self._entries[(platform_name, workload_name, signature)] = config
         if self.path is not None:
             self._save()
 
     def get_or_profile(self, platform: PlatformSpec, workload: "Workload",
                        profiler: Optional[Profiler] = None) -> ProactConfig:
-        """Return the cached config, profiling (and caching) on a miss."""
-        cached = self.get(platform.name, workload.name)
+        """Return the cached config, profiling (and caching) on a miss.
+
+        Results are keyed by the profiler's sweep signature, so asking
+        again with a different grid re-profiles instead of returning a
+        config chosen from a different search space.
+        """
+        active_profiler = profiler or Profiler(platform)
+        signature = active_profiler.sweep_signature()
+        cached = self.get(platform.name, workload.name, signature)
         if cached is not None:
             return cached
-        active_profiler = profiler or Profiler(platform)
         profile = active_profiler.profile(workload.phase_builder())
         config = profile.best_config
-        self.put(platform.name, workload.name, config)
+        self.put(platform.name, workload.name, config, signature)
         return config
 
     # ------------------------------------------------------------------
@@ -94,10 +116,13 @@ class ProfileStore:
     # ------------------------------------------------------------------
     def _save(self) -> None:
         assert self.path is not None
-        payload = {
-            f"{platform}::{workload}": _config_to_dict(config)
-            for (platform, workload), config in sorted(self._entries.items())
-        }
+        payload = {}
+        for (platform, workload, signature), config in sorted(
+                self._entries.items()):
+            parts = [platform, workload]
+            if signature:
+                parts.append(signature)
+            payload[_KEY_SEPARATOR.join(parts)] = _config_to_dict(config)
         self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     def _load(self) -> None:
@@ -111,8 +136,12 @@ class ProfileStore:
             raise ProactError(
                 f"profile store {self.path} has an unexpected layout")
         for key, data in payload.items():
-            platform, separator, workload = key.partition("::")
-            if not separator:
+            parts = key.split(_KEY_SEPARATOR, 2)
+            if len(parts) < 2:
                 raise ProactError(
-                    f"profile store key {key!r} is not 'platform::workload'")
-            self._entries[(platform, workload)] = _config_from_dict(data)
+                    f"profile store key {key!r} is not "
+                    "'platform::workload[::signature]'")
+            platform, workload = parts[0], parts[1]
+            signature = parts[2] if len(parts) == 3 else ""
+            self._entries[(platform, workload, signature)] = (
+                _config_from_dict(data))

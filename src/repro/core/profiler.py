@@ -15,12 +15,34 @@ Two search modes:
   picks the same optimum whenever the two knobs are separable (they are,
   in all the paper's workloads: granularity trades initiation against
   tail, threads only gate copy bandwidth).
+
+Execution backends
+------------------
+
+Every measurement is an independent pure function of
+``(platform, config, phase_builder)``, which makes the sweep
+embarrassingly parallel.  The profiler therefore plans each search as a
+sequence of *waves* — batches of configurations with no data dependency
+between them — and hands each wave to an :class:`ExecutorBackend`:
+
+* :class:`SerialBackend` (default) measures in-process, one by one;
+* :class:`ProcessPoolBackend` fans a wave out over a
+  ``concurrent.futures.ProcessPoolExecutor``.
+
+Because the simulation is deterministic, both backends produce
+byte-identical :class:`ProfileEntry` lists; :class:`ParallelProfiler` is
+a convenience wrapper selecting the process-pool backend.
+
+Ties on runtime are broken toward the smallest ``(chunk_size,
+transfer_threads)`` (then mechanism name), so the chosen configuration is
+reproducible across search modes, backends, and entry orderings.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import (
     ALL_MECHANISMS,
@@ -46,6 +68,18 @@ class ProfileEntry:
     runtime: float
 
 
+def _entry_order(entry: ProfileEntry) -> Tuple[float, int, int, str]:
+    """Total order for picking winners: runtime, then smallest config.
+
+    Runtime ties resolve toward the smallest ``(chunk_size,
+    transfer_threads)`` and finally the mechanism name, so the winner
+    does not depend on the order entries were measured in (coordinate
+    vs. exhaustive search, serial vs. parallel backends).
+    """
+    return (entry.runtime, entry.config.chunk_size,
+            entry.config.transfer_threads, entry.config.mechanism)
+
+
 @dataclass
 class ProfileResult:
     """Outcome of a profiling pass."""
@@ -56,7 +90,7 @@ class ProfileResult:
     def best(self) -> ProfileEntry:
         if not self.entries:
             raise ProactError("profile produced no entries")
-        return min(self.entries, key=lambda entry: entry.runtime)
+        return min(self.entries, key=_entry_order)
 
     @property
     def best_config(self) -> ProactConfig:
@@ -67,7 +101,7 @@ class ProfileResult:
                       if entry.config.mechanism == mechanism]
         if not candidates:
             raise ProactError(f"no entries for mechanism {mechanism!r}")
-        return min(candidates, key=lambda entry: entry.runtime)
+        return min(candidates, key=_entry_order)
 
 
 def run_phases(platform: PlatformSpec, config: ProactConfig,
@@ -91,6 +125,81 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
     return system.now
 
 
+def measure_config(platform: PlatformSpec, config: ProactConfig,
+                   phase_builder: PhaseBuilder) -> ProfileEntry:
+    """Measure one configuration (the profiler's unit of work).
+
+    A module-level pure function so executor backends can ship it to
+    worker processes.
+    """
+    runtime = run_phases(platform, config, phase_builder)
+    return ProfileEntry(config=config, runtime=runtime)
+
+
+# ---------------------------------------------------------------------------
+# Executor backends
+# ---------------------------------------------------------------------------
+
+class ExecutorBackend:
+    """Strategy for measuring one wave of independent configurations.
+
+    ``measure_wave`` must return entries in the same order as ``configs``;
+    the profiler relies on positional correspondence when it splits a
+    wave's results back out per mechanism.
+    """
+
+    def measure_wave(self, platform: PlatformSpec,
+                     configs: Sequence[ProactConfig],
+                     phase_builder: PhaseBuilder) -> List[ProfileEntry]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """Measure a wave in-process, one configuration at a time."""
+
+    def measure_wave(self, platform: PlatformSpec,
+                     configs: Sequence[ProactConfig],
+                     phase_builder: PhaseBuilder) -> List[ProfileEntry]:
+        return [measure_config(platform, config, phase_builder)
+                for config in configs]
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan a wave out over a process pool.
+
+    Each simulation is an independent pure function of
+    ``(platform, config, phase_builder)``, so worker results are
+    byte-identical to a serial run; only wall-clock time changes.  All
+    three arguments must be picklable (platform specs, configs, and the
+    workloads' bound ``build_phases`` methods all are).
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ProactError(f"need >= 1 job: {jobs}")
+        self.jobs = jobs
+
+    def measure_wave(self, platform: PlatformSpec,
+                     configs: Sequence[ProactConfig],
+                     phase_builder: PhaseBuilder) -> List[ProfileEntry]:
+        if not configs:
+            return []
+        workers = min(self.jobs, len(configs))
+        if workers == 1:
+            return SerialBackend().measure_wave(
+                platform, configs, phase_builder)
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers) as pool:
+            futures = [pool.submit(measure_config, platform, config,
+                                   phase_builder)
+                       for config in configs]
+            return [future.result() for future in futures]
+
+
+# ---------------------------------------------------------------------------
+# Profiler
+# ---------------------------------------------------------------------------
+
 class Profiler:
     """Configuration-space search for one platform."""
 
@@ -98,7 +207,8 @@ class Profiler:
                  chunk_sizes: Sequence[int] = PROFILE_CHUNK_SIZES,
                  thread_counts: Sequence[int] = PROFILE_THREAD_COUNTS,
                  mechanisms: Sequence[str] = ALL_MECHANISMS,
-                 search: str = "coordinate") -> None:
+                 search: str = "coordinate",
+                 backend: Optional[ExecutorBackend] = None) -> None:
         if search not in ("coordinate", "exhaustive"):
             raise ProactError(
                 f"unknown search mode {search!r}; "
@@ -110,51 +220,113 @@ class Profiler:
         self.thread_counts = tuple(sorted(thread_counts))
         self.mechanisms = tuple(mechanisms)
         self.search = search
+        self.backend = backend or SerialBackend()
+
+    def sweep_signature(self) -> str:
+        """Canonical identifier of this sweep's full search space.
+
+        Two profilers with the same signature explore the same grid and
+        (given deterministic tie-breaking) choose the same winner, so the
+        signature is what :class:`~repro.core.cache.ProfileStore` keys
+        cached results by.  The backend is deliberately excluded —
+        parallel and serial sweeps share cache hits.
+        """
+        chunks = ",".join(str(size) for size in self.chunk_sizes)
+        threads = ",".join(str(count) for count in self.thread_counts)
+        mechanisms = ",".join(self.mechanisms)
+        return (f"{self.search}|mech={mechanisms}|chunks={chunks}"
+                f"|threads={threads}")
 
     def profile(self, phase_builder: PhaseBuilder) -> ProfileResult:
-        """Run the sweep for one application."""
-        entries: List[ProfileEntry] = []
+        """Run the sweep for one application.
+
+        The search is planned as waves of independent measurements so
+        any backend (serial or parallel) produces identical entries in
+        identical order: first every mechanism's opening sweep, then —
+        for coordinate search — the thread sweep at each mechanism's
+        best granularity.
+        """
+        first_wave = {mechanism: self._first_wave(mechanism)
+                      for mechanism in self.mechanisms}
+        measured = self._split_by_mechanism(
+            first_wave, self._measure_wave(first_wave, phase_builder))
+
+        if self.search == "coordinate":
+            second_wave = {
+                mechanism: self._thread_sweep(mechanism, measured[mechanism])
+                for mechanism in self.mechanisms}
+            second = self._split_by_mechanism(
+                second_wave, self._measure_wave(second_wave, phase_builder))
+            for mechanism in self.mechanisms:
+                measured[mechanism].extend(second[mechanism])
+
+        return ProfileResult(entries=[
+            entry for mechanism in self.mechanisms
+            for entry in measured[mechanism]])
+
+    # ------------------------------------------------------------------
+    # Wave planning
+    # ------------------------------------------------------------------
+    def _first_wave(self, mechanism: str) -> List[ProactConfig]:
+        """Opening sweep for one mechanism (no data dependencies)."""
+        if mechanism == MECH_INLINE:
+            # Inline has no decoupled knobs; one representative point.
+            return [ProactConfig(MECH_INLINE, self.chunk_sizes[0],
+                                 self.thread_counts[0])]
+        if self.search == "exhaustive":
+            return [ProactConfig(mechanism, chunk_size, threads)
+                    for chunk_size in self.chunk_sizes
+                    for threads in self.thread_counts]
+        return [ProactConfig(mechanism, chunk_size, self.thread_counts[-1])
+                for chunk_size in self.chunk_sizes]
+
+    def _thread_sweep(self, mechanism: str,
+                      chunk_entries: Sequence[ProfileEntry],
+                      ) -> List[ProactConfig]:
+        """Coordinate search's second stage: threads at the best chunk."""
+        if mechanism == MECH_INLINE:
+            return []
+        best_chunk = min(chunk_entries, key=_entry_order).config.chunk_size
+        return [ProactConfig(mechanism, best_chunk, threads)
+                for threads in self.thread_counts[:-1]]
+
+    def _measure_wave(self, wave: Dict[str, List[ProactConfig]],
+                      phase_builder: PhaseBuilder) -> List[ProfileEntry]:
+        flat = [config for mechanism in self.mechanisms
+                for config in wave[mechanism]]
+        return self.backend.measure_wave(self.platform, flat, phase_builder)
+
+    def _split_by_mechanism(self, wave: Dict[str, List[ProactConfig]],
+                            entries: Sequence[ProfileEntry],
+                            ) -> Dict[str, List[ProfileEntry]]:
+        split: Dict[str, List[ProfileEntry]] = {}
+        cursor = 0
         for mechanism in self.mechanisms:
-            if mechanism == MECH_INLINE:
-                entries.append(self._measure(
-                    ProactConfig(MECH_INLINE, self.chunk_sizes[0],
-                                 self.thread_counts[0]),
-                    phase_builder))
-            elif self.search == "exhaustive":
-                entries.extend(
-                    self._exhaustive(mechanism, phase_builder))
-            else:
-                entries.extend(
-                    self._coordinate(mechanism, phase_builder))
-        return ProfileResult(entries=entries)
-
-    # ------------------------------------------------------------------
-    # Search strategies
-    # ------------------------------------------------------------------
-    def _exhaustive(self, mechanism: str, phase_builder: PhaseBuilder,
-                    ) -> List[ProfileEntry]:
-        return [
-            self._measure(
-                ProactConfig(mechanism, chunk_size, threads), phase_builder)
-            for chunk_size in self.chunk_sizes
-            for threads in self.thread_counts
-        ]
-
-    def _coordinate(self, mechanism: str, phase_builder: PhaseBuilder,
-                    ) -> List[ProfileEntry]:
-        entries: List[ProfileEntry] = []
-        max_threads = self.thread_counts[-1]
-        for chunk_size in self.chunk_sizes:
-            entries.append(self._measure(
-                ProactConfig(mechanism, chunk_size, max_threads),
-                phase_builder))
-        best_chunk = min(entries, key=lambda e: e.runtime).config.chunk_size
-        for threads in self.thread_counts[:-1]:
-            entries.append(self._measure(
-                ProactConfig(mechanism, best_chunk, threads), phase_builder))
-        return entries
+            count = len(wave[mechanism])
+            split[mechanism] = list(entries[cursor:cursor + count])
+            cursor += count
+        return split
 
     def _measure(self, config: ProactConfig,
                  phase_builder: PhaseBuilder) -> ProfileEntry:
-        runtime = run_phases(self.platform, config, phase_builder)
-        return ProfileEntry(config=config, runtime=runtime)
+        return measure_config(self.platform, config, phase_builder)
+
+
+class ParallelProfiler(Profiler):
+    """A :class:`Profiler` that fans each wave over worker processes.
+
+    ``ParallelProfiler(platform, jobs=4)`` returns entries identical to
+    ``Profiler(platform)`` — same configs, same runtimes, same order —
+    the sweep just completes up to ``jobs`` times faster.
+    """
+
+    def __init__(self, platform: PlatformSpec,
+                 chunk_sizes: Sequence[int] = PROFILE_CHUNK_SIZES,
+                 thread_counts: Sequence[int] = PROFILE_THREAD_COUNTS,
+                 mechanisms: Sequence[str] = ALL_MECHANISMS,
+                 search: str = "coordinate",
+                 jobs: int = 2) -> None:
+        super().__init__(platform, chunk_sizes=chunk_sizes,
+                         thread_counts=thread_counts, mechanisms=mechanisms,
+                         search=search, backend=ProcessPoolBackend(jobs))
+        self.jobs = jobs

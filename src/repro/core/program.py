@@ -23,7 +23,7 @@ this module proves the protocol preserves program semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class CtaContext:
         if illegal:
             raise ProactError(
                 f"CTA {self.cta_index} wrote chunks {illegal} outside its "
-                f"mapping — PROACT requires deterministic writes")
+                "mapping — PROACT requires deterministic writes")
         self._ds.local_write(self._gpu, start, values)
         self._wrote = True
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import typing
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.agents import DecoupledAgent
 from repro.core.cdp_agent import CdpAgent

@@ -10,15 +10,29 @@ from repro.experiments import (  # noqa: F401 - re-exported submodules
     fig8_overhead,
     fig9_overlap,
     fig10_scaling,
+    registry,
     sensitivity,
     table1_systems,
     table2_configs,
     utilization,
 )
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
 from repro.experiments.report import TextTable, geometric_mean
 from repro.experiments.timeline import render_phase_timeline
 
 __all__ = [
+    "registry",
+    "REGISTRY",
+    "ExperimentContext",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_experiment",
     "ablations",
     "fig1_paradigms",
     "fig2_goodput",

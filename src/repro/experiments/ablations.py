@@ -21,7 +21,7 @@ discussion makes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.config import MECH_POLLING, ProactConfig
 from repro.core.profiler import run_phases
@@ -29,6 +29,7 @@ from repro.experiments.fig7_endtoend import (
     decoupled_config_for,
     single_gpu_runtime,
 )
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable, geometric_mean
 from repro.hw.platform import (
     FOUR_GPU_PLATFORMS,
@@ -125,7 +126,7 @@ class DmaEngineAblationResult:
 
     def table(self) -> TextTable:
         table = TextTable(
-            title=(f"Ablation: cudaMemcpy copy-engine count "
+            title=("Ablation: cudaMemcpy copy-engine count "
                    f"({self.platform})"),
             columns=["configuration", "geomean speedup"])
         for count in self.engine_counts:
@@ -323,3 +324,25 @@ def run_granularity_ablation(
         result.runtimes[size] = run_phases(
             platform, config, target.phase_builder())
     return result
+
+
+# ---------------------------------------------------------------------------
+# Registry entry point
+# ---------------------------------------------------------------------------
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    hardware = run_hardware_ablation()
+    dma = run_dma_engine_ablation()
+    mapping = run_mapping_ablation()
+    topology = run_topology_ablation()
+    granularity = run_granularity_ablation()
+    return ExperimentResult.build(
+        "ablations", "Ablations",
+        [hardware.table(), dma.table(), mapping.table(), topology.table(),
+         granularity.table()],
+        {"hw_gap_recovered_4x_volta": hardware.gap_recovered("4x_volta"),
+         "proact_vs_4_dma_engines": dma.proact / dma.memcpy[4],
+         "mapping_gain_16": (mapping.with_mapping[16]
+                             / mapping.full_duplication[16]),
+         "best_chunk_bytes": granularity.best_chunk()})

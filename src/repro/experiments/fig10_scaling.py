@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable, geometric_mean
 from repro.hw.platform import (
     PLATFORM_4X_KEPLER,
@@ -108,3 +109,13 @@ def run(sweeps: Sequence[Tuple[PlatformSpec, Sequence[int]]] = DEFAULT_SWEEPS,
                 result.speedups[(platform.name, count, series)] = (
                     geometric_mean(values))
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    return ExperimentResult.build(
+        "fig10", "Figure 10", result.tables(),
+        {"proact_advantage_16x_volta_16":
+             result.proact_advantage("16x_volta", 16),
+         "capture_16x_volta_16": result.capture("16x_volta", 16)})

@@ -12,9 +12,10 @@ cartoon encodes visually.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import PLATFORM_4X_VOLTA, PlatformSpec
 from repro.paradigms import (
@@ -43,7 +44,7 @@ class Figure1Result:
 
     def table(self) -> TextTable:
         table = TextTable(
-            title=(f"Figure 1: communication paradigms on the tuned "
+            title=("Figure 1: communication paradigms on the tuned "
                    f"microbenchmark ({self.platform})"),
             columns=["paradigm", "time (ms)", "vs memcpy",
                      "wire efficiency", "mean link util"])
@@ -84,3 +85,14 @@ def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
         result.utilizations[paradigm.name] = outcome.details.get(
             "mean_link_utilization", 0.0)
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run(data_bytes=ctx.micro_bytes)
+    return ExperimentResult.build(
+        "fig1", "Figure 1", [result.table()],
+        {"decoupled_vs_memcpy": (result.runtimes["cudaMemcpy"]
+                                 / result.runtimes["PROACT-decoupled"]),
+         "decoupled_wire_efficiency":
+             result.efficiencies["PROACT-decoupled"]})

@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.interconnect.efficiency import (
     DEFAULT_GRANULARITIES,
     GoodputPoint,
     figure2_curves,
 )
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 
 
@@ -42,3 +43,13 @@ class Figure2Result:
 def run(sizes: Sequence[int] = DEFAULT_GRANULARITIES) -> Figure2Result:
     """Regenerate Figure 2."""
     return Figure2Result(curves=figure2_curves(sizes))
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    anchors = result.anchor_points()
+    return ExperimentResult.build(
+        "fig2", "Figure 2", [result.table()],
+        {f"goodput_4B_{name.lower()}": value
+         for name, value in anchors.items()})

@@ -4,10 +4,11 @@ aggregate transfer size (microbenchmark on the Kepler system)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.config import MECH_POLLING, ProactConfig
 from repro.core.profiler import run_phases
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import PLATFORM_4X_KEPLER, PlatformSpec
 from repro.units import KiB, MiB
@@ -30,7 +31,7 @@ class Figure4Result:
 
     def table(self) -> TextTable:
         table = TextTable(
-            title=(f"Figure 4: relative throughput vs. transfer threads x "
+            title=("Figure 4: relative throughput vs. transfer threads x "
                    f"granularity ({self.platform})"),
             columns=["threads", *(_size_label(s) for s in self.sizes)])
         for threads in self.threads:
@@ -70,3 +71,12 @@ def run(platform: PlatformSpec = PLATFORM_4X_KEPLER,
                   for cell, value in inverse_runtime.items()}
     return Figure4Result(platform=platform.name, threads=list(threads),
                          sizes=list(sizes), throughput=normalized)
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run(data_bytes=ctx.micro_bytes)
+    best_threads, best_size = result.best_cell()
+    return ExperimentResult.build(
+        "fig4", "Figure 4", [result.table()],
+        {"best_threads": best_threads, "best_size": best_size})

@@ -8,6 +8,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import MECH_CDP, MECH_POLLING, ProactConfig
 from repro.core.profiler import run_phases
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
 from repro.runtime.system import System
@@ -37,8 +38,8 @@ class Figure6Result:
 
     def table(self, platform: str) -> TextTable:
         table = TextTable(
-            title=f"Figure 6: microbenchmark speedup vs cudaMemcpy "
-                  f"({platform})",
+            title=("Figure 6: microbenchmark speedup vs cudaMemcpy "
+                   f"({platform})"),
             columns=["granularity", "CDP", "Polling"])
         for size in self.granularities:
             table.add_row(
@@ -98,3 +99,13 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
     return Figure6Result(
         granularities=list(granularities), speedups=speedups,
         platforms=[p.name for p in platforms])
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run(data_bytes=ctx.micro_bytes)
+    return ExperimentResult.build(
+        "fig6", "Figure 6", result.tables(),
+        {"peak_speedup_4x_volta_polling":
+             result.peak("4x_volta", MECH_POLLING),
+         "peak_speedup_4x_kepler_cdp": result.peak("4x_kepler", MECH_CDP)})

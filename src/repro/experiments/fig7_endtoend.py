@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MECH_CDP, MECH_POLLING, ProactConfig
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable, geometric_mean
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
 from repro.paradigms import (
@@ -118,3 +119,13 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
                     (platform.name, workload.name, paradigm.name)] = (
                     reference / outcome.runtime)
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    return ExperimentResult.build(
+        "fig7", "Figure 7", result.tables(),
+        {"proact_geomean_4x_volta": result.proact_geomean("4x_volta"),
+         "opportunity_capture_4x_volta":
+             result.opportunity_capture("4x_volta")})

@@ -9,9 +9,10 @@ runtime.  The difference is the software cost of tracking data readiness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
 from repro.paradigms import InfiniteBandwidthParadigm, ProactDecoupledParadigm
@@ -64,3 +65,13 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
             result.overhead[(platform.name, workload.name)] = (
                 instrumented.runtime / ideal.runtime - 1.0)
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    _platform, _workload, worst = result.max_overhead()
+    return ExperimentResult.build(
+        "fig8", "Figure 8", [result.table()],
+        {"max_overhead": worst,
+         "mean_overhead_4x_volta": result.mean("4x_volta")})

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
 from repro.paradigms import (
@@ -69,3 +70,12 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
             result.overlap[(platform.name, workload.name)] = max(
                 0.0, min(1.0, 1.0 - exposed / duplication_time))
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    mean = sum(result.overlap.values()) / len(result.overlap)
+    return ExperimentResult.build(
+        "fig9", "Figure 9", [result.table()],
+        {"min_overlap": result.minimum(), "mean_overlap": mean})

@@ -1,0 +1,160 @@
+"""Declarative experiment registry and the structured result schema.
+
+Every figure/table harness registers itself here under a stable name and
+exposes one entry point::
+
+    def experiment(ctx: ExperimentContext) -> ExperimentResult
+
+The :class:`ExperimentResult` carries the rendered table blocks (exactly
+what the serial runner has always printed) *plus* machine-readable
+metadata — wall time, row count, and the key scalars each figure's
+assertions hang off — so CI and the bench trajectory can consume a
+``results.json`` instead of scraping pretty-printed text.
+
+Experiments are independent of each other by construction (each builds
+its own simulated systems), which is what lets the runner execute them
+on a process pool; :func:`run_experiment` is the picklable unit of work.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProactError
+from repro.experiments.report import TextTable
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Run-wide knobs an experiment may consult.
+
+    ``quick`` shrinks the microbenchmark data size and the profiler
+    grids so the full suite completes in minutes; the shapes are the
+    same, just with coarser sweeps.
+    """
+
+    quick: bool = True
+
+    @property
+    def micro_bytes(self) -> int:
+        """Microbenchmark data size (the paper uses 256 MiB)."""
+        return 64 * MiB if self.quick else 256 * MiB
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: rendered tables + structured metadata."""
+
+    name: str
+    label: str
+    tables: List[str]
+    rows: int
+    scalars: Dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @classmethod
+    def build(cls, name: str, label: str, tables: Sequence[TextTable],
+              scalars: Mapping[str, float]) -> "ExperimentResult":
+        """Assemble a result from rendered tables, counting data rows."""
+        return cls(
+            name=name,
+            label=label,
+            tables=[str(table) for table in tables],
+            rows=sum(len(table.rows) for table in tables),
+            scalars={key: float(value) for key, value in scalars.items()},
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (tables omitted; they live in the text log)."""
+        return {
+            "name": self.name,
+            "label": self.label,
+            "elapsed": self.elapsed,
+            "rows": self.rows,
+            "scalars": dict(self.scalars),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: a stable name bound to a harness module."""
+
+    name: str
+    label: str
+    module: str
+
+    def run(self, ctx: ExperimentContext) -> ExperimentResult:
+        harness = importlib.import_module(self.module)
+        return harness.experiment(ctx)
+
+
+#: Every experiment, in the suite's canonical (serial) output order.
+REGISTRY: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", "Table I",
+                   "repro.experiments.table1_systems"),
+    ExperimentSpec("fig1", "Figure 1",
+                   "repro.experiments.fig1_paradigms"),
+    ExperimentSpec("fig2", "Figure 2",
+                   "repro.experiments.fig2_goodput"),
+    ExperimentSpec("fig4", "Figure 4",
+                   "repro.experiments.fig4_profile"),
+    ExperimentSpec("fig6", "Figure 6",
+                   "repro.experiments.fig6_micro"),
+    ExperimentSpec("fig7", "Figure 7",
+                   "repro.experiments.fig7_endtoend"),
+    ExperimentSpec("table2", "Table II",
+                   "repro.experiments.table2_configs"),
+    ExperimentSpec("fig8", "Figure 8",
+                   "repro.experiments.fig8_overhead"),
+    ExperimentSpec("fig9", "Figure 9",
+                   "repro.experiments.fig9_overlap"),
+    ExperimentSpec("fig10", "Figure 10",
+                   "repro.experiments.fig10_scaling"),
+    ExperimentSpec("ablations", "Ablations",
+                   "repro.experiments.ablations"),
+    ExperimentSpec("utilization", "Utilization smoothing",
+                   "repro.experiments.utilization"),
+    ExperimentSpec("sensitivity", "Sensitivity",
+                   "repro.experiments.sensitivity"),
+)
+
+_BY_NAME: Dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}
+
+
+def experiment_names() -> List[str]:
+    return [spec.name for spec in REGISTRY]
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ProactError(
+            f"unknown experiment {name!r}; "
+            f"known: {', '.join(experiment_names())}") from None
+
+
+def select_specs(only: Optional[Sequence[str]] = None,
+                 ) -> List[ExperimentSpec]:
+    """Registry order, optionally restricted to the named experiments."""
+    if only is None:
+        return list(REGISTRY)
+    requested = {name: get_spec(name) for name in only}
+    return [spec for spec in REGISTRY if spec.name in requested]
+
+
+def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
+    """Execute one registered experiment, stamping its wall time.
+
+    Module-level (and argument-picklable) so the runner can ship it to
+    ``ProcessPoolExecutor`` workers.
+    """
+    spec = get_spec(name)
+    started = time.perf_counter()
+    result = spec.run(ctx)
+    result.elapsed = time.perf_counter() - started
+    return result

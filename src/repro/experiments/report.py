@@ -7,7 +7,7 @@ benchmark harness prints the same rows/series the paper's figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 
 @dataclass

@@ -2,84 +2,162 @@
 
 ``python -m repro.experiments.runner`` regenerates everything; each
 experiment is also importable individually (``fig7_endtoend.run()`` etc.).
+
+The runner is registry-driven (:mod:`repro.experiments.registry`): every
+experiment is declared once, runs to a structured
+:class:`~repro.experiments.registry.ExperimentResult`, and can execute on
+a process pool because experiments are independent of each other.  Output
+is deterministic regardless of parallelism: results are printed in
+registry order and each experiment's tables are byte-identical to a
+serial run (the simulation is a pure function of its inputs).
+
+Command line::
+
+    python -m repro.experiments.runner [--full | --quick] [--jobs N]
+                                       [--only NAME ...] [--json PATH]
+                                       [--list]
 """
 
 from __future__ import annotations
 
+import argparse
+import concurrent.futures
+import json
+import pathlib
 import sys
 import time
-from typing import Callable, List, Optional, Sequence, TextIO
+from typing import List, Optional, Sequence, TextIO
 
-from repro.experiments import (
-    ablations,
-    fig1_paradigms,
-    fig2_goodput,
-    fig4_profile,
-    fig6_micro,
-    fig7_endtoend,
-    fig8_overhead,
-    fig9_overlap,
-    fig10_scaling,
-    sensitivity,
-    table1_systems,
-    table2_configs,
-    utilization,
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentResult,
+    experiment_names,
+    run_experiment,
+    select_specs,
 )
-from repro.units import MiB
-from repro.workloads import MicroBenchmark
 
 
-def run_all(quick: bool = True, out: Optional[TextIO] = None) -> None:
-    """Run every experiment, printing each table as it completes.
+def _emit(stream: TextIO, result: ExperimentResult) -> None:
+    for block in result.tables:
+        print(block, file=stream)
+        print("", file=stream)
+    print(f"[{result.label} completed in {result.elapsed:.1f}s]",
+          file=stream)
+    print("", file=stream)
+
+
+def _run_serial(names: Sequence[str], ctx: ExperimentContext,
+                stream: TextIO) -> List[ExperimentResult]:
+    results = []
+    for name in names:
+        result = run_experiment(name, ctx)
+        _emit(stream, result)
+        results.append(result)
+    return results
+
+
+def _run_parallel(names: Sequence[str], ctx: ExperimentContext,
+                  stream: TextIO, jobs: int) -> List[ExperimentResult]:
+    """Run independent experiments concurrently.
+
+    Results are printed in registry order as soon as each experiment
+    *and all its predecessors* have finished, so the text output matches
+    the serial runner's ordering exactly.
+    """
+    workers = min(jobs, len(names))
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers) as pool:
+        futures = [pool.submit(run_experiment, name, ctx)
+                   for name in names]
+        results = []
+        for future in futures:
+            result = future.result()
+            _emit(stream, result)
+            results.append(result)
+    return results
+
+
+def write_results_json(path: pathlib.Path,
+                       results: Sequence[ExperimentResult],
+                       quick: bool, jobs: int,
+                       total_elapsed: float) -> None:
+    """Persist the machine-readable run summary for CI/bench tooling."""
+    payload = {
+        "suite": "repro-experiments",
+        "quick": quick,
+        "jobs": jobs,
+        "total_elapsed": total_elapsed,
+        "experiments": [result.to_dict() for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def run_all(quick: bool = True, out: Optional[TextIO] = None,
+            jobs: int = 1, only: Optional[Sequence[str]] = None,
+            json_path: Optional[str] = None) -> List[ExperimentResult]:
+    """Run the experiment suite, printing each table as it completes.
 
     ``quick=True`` shrinks the microbenchmark data size and the profiler
     grids so the full suite completes in minutes; the shapes are the
-    same, just with coarser sweeps.
+    same, just with coarser sweeps.  ``jobs > 1`` fans independent
+    experiments over worker processes without changing any output table.
+    ``only`` restricts the run to the named registry entries, and
+    ``json_path`` additionally writes the structured results summary.
     """
     stream = out or sys.stdout
+    names = [spec.name for spec in select_specs(only)]
+    ctx = ExperimentContext(quick=quick)
 
-    def emit(text: str) -> None:
-        print(text, file=stream)
-        print("", file=stream)
+    started = time.perf_counter()
+    if jobs > 1 and len(names) > 1:
+        results = _run_parallel(names, ctx, stream, jobs)
+    else:
+        results = _run_serial(names, ctx, stream)
+    total_elapsed = time.perf_counter() - started
 
-    def timed(label: str, thunk: Callable[[], List[str]]) -> None:
-        started = time.perf_counter()
-        blocks = thunk()
-        elapsed = time.perf_counter() - started
-        for block in blocks:
-            emit(block)
-        emit(f"[{label} completed in {elapsed:.1f}s]")
+    if json_path is not None:
+        write_results_json(pathlib.Path(json_path), results, quick, jobs,
+                           total_elapsed)
+    return results
 
-    micro_bytes = 64 * MiB if quick else 256 * MiB
 
-    timed("Table I", lambda: [str(table1_systems.run().table())])
-    timed("Figure 1", lambda: [str(fig1_paradigms.run(
-        data_bytes=micro_bytes).table())])
-    timed("Figure 2", lambda: [str(fig2_goodput.run().table())])
-    timed("Figure 4", lambda: [str(fig4_profile.run(
-        data_bytes=micro_bytes).table())])
-    timed("Figure 6", lambda: [
-        str(table) for table in fig6_micro.run(
-            data_bytes=micro_bytes).tables()])
-    timed("Figure 7", lambda: [
-        str(table) for table in fig7_endtoend.run().tables()])
-    timed("Table II", lambda: [
-        str(table2_configs.run(quick=quick).table())])
-    timed("Figure 8", lambda: [str(fig8_overhead.run().table())])
-    timed("Figure 9", lambda: [str(fig9_overlap.run().table())])
-    timed("Figure 10", lambda: [
-        str(table) for table in fig10_scaling.run().tables()])
-    timed("Ablations", lambda: [
-        str(ablations.run_hardware_ablation().table()),
-        str(ablations.run_dma_engine_ablation().table()),
-        str(ablations.run_mapping_ablation().table()),
-        str(ablations.run_topology_ablation().table()),
-        str(ablations.run_granularity_ablation().table()),
-    ])
-    timed("Utilization smoothing", lambda: [str(utilization.run(
-        workload=MicroBenchmark(data_bytes=micro_bytes)).table())])
-    timed("Sensitivity", lambda: [str(sensitivity.run().table())])
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick", action="store_true", default=True,
+        help="reduced data sizes and sweep grids (default)")
+    scale.add_argument(
+        "--full", dest="quick", action="store_false",
+        help="the paper's full microbenchmark size and profiler grids")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N experiments concurrently (default: 1)")
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        choices=experiment_names(),
+        help="run only the named experiment (repeatable)")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write a machine-readable results summary to PATH")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered experiment names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in select_specs():
+            print(f"{spec.name:12s} {spec.label}")
+        return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    run_all(quick=args.quick, jobs=args.jobs, only=args.only,
+            json_path=args.json)
+    return 0
 
 
 if __name__ == "__main__":
-    run_all(quick="--full" not in sys.argv)
+    sys.exit(main())

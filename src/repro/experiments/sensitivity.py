@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable, geometric_mean
 from repro.hw.platform import PLATFORM_4X_VOLTA, PlatformSpec
-from repro.hw.specs import GpuSpec
 from repro.paradigms import (
     BulkMemcpyParadigm,
     InfiniteBandwidthParadigm,
@@ -78,7 +78,7 @@ class SensitivityResult:
 
     def table(self) -> TextTable:
         table = TextTable(
-            title=(f"Sensitivity: conclusions under x0.5/x2 constant "
+            title=("Sensitivity: conclusions under x0.5/x2 constant "
                    f"perturbations ({self.platform})"),
             columns=["perturbation", "PROACT", "cudaMemcpy",
                      "Infinite BW", "conclusions"])
@@ -147,3 +147,13 @@ def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
             decoupled_pagerank=decoupled_pagerank,
             inline_pagerank=inline_pagerank))
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    holding = sum(1 for row in result.rows if row.conclusions_hold)
+    return ExperimentResult.build(
+        "sensitivity", "Sensitivity", [result.table()],
+        {"all_hold": 1.0 if result.all_hold else 0.0,
+         "perturbations_holding": holding})

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import PLATFORMS, PlatformSpec
 from repro.units import GiB
@@ -36,3 +37,12 @@ def run() -> Table1Result:
     """Render Table I from the encoded platform specs."""
     order = ["4x_kepler", "4x_pascal", "4x_volta", "16x_volta"]
     return Table1Result(platforms=[PLATFORMS[name] for name in order])
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run()
+    return ExperimentResult.build(
+        "table1", "Table I", [result.table()],
+        {"num_platforms": len(result.platforms),
+         "max_gpus": max(p.num_gpus for p in result.platforms)})

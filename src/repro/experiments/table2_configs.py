@@ -8,6 +8,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import PROFILE_CHUNK_SIZES, PROFILE_THREAD_COUNTS
 from repro.core.profiler import Profiler
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
 from repro.units import KiB, MiB
@@ -71,3 +72,13 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
             result.labels[key] = best.config.label()
             result.runtimes[key] = best.runtime
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run(quick=ctx.quick)
+    decoupled = sum(1 for label in result.labels.values() if label != "I")
+    return ExperimentResult.build(
+        "table2", "Table II", [result.table()],
+        {"decoupled_picks": decoupled,
+         "inline_picks": len(result.labels) - decoupled})

@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.fig7_endtoend import decoupled_config_for
+from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import PLATFORM_4X_VOLTA, PlatformSpec
 from repro.interconnect.link import Link
 from repro.paradigms import BulkMemcpyParadigm, ProactDecoupledParadigm
 from repro.paradigms.base import Paradigm
 from repro.runtime.system import System
-from repro.workloads import PageRankWorkload, Workload
+from repro.workloads import MicroBenchmark, PageRankWorkload, Workload
 
 
 def link_utilization_timeline(link: Link, end_time: float,
@@ -148,3 +149,15 @@ def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
         result.timelines[paradigm.name] = timeline
         result.runtimes[paradigm.name] = runtime
     return result
+
+
+def experiment(ctx: ExperimentContext) -> ExperimentResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    result = run(workload=MicroBenchmark(data_bytes=ctx.micro_bytes))
+    proact_cv = result.cv("PROACT-decoupled")
+    bulk_cv = result.cv("cudaMemcpy")
+    return ExperimentResult.build(
+        "utilization", "Utilization smoothing", [result.table()],
+        {"cv_bulk": bulk_cv, "cv_proact": proact_cv,
+         "smoothing_factor": (bulk_cv / proact_cv if proact_cv > 0
+                              else 0.0)})

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import typing
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Event

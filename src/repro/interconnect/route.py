@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import typing
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.interconnect.link import Link

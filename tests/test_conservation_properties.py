@@ -5,7 +5,6 @@ destroyed, time never runs backwards, and the executor's reported spans
 nest correctly.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

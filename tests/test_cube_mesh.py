@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.hw import PLATFORM_8X_VOLTA_CUBE
 from repro.interconnect import NVLINK2_CUBE_MESH, Fabric
-from repro.runtime import System
 from repro.sim import Engine
 from repro.units import MiB
 

@@ -1,7 +1,5 @@
 """Tests for the forward-looking A100/NVLink3 platform extension."""
 
-import pytest
-
 from repro.hw import AMPERE_A100, PLATFORM_8X_AMPERE, VOLTA_V100
 from repro.paradigms import (
     BulkMemcpyParadigm,

@@ -1,7 +1,5 @@
 """Tests for the hardware PROACT engine (Section III-D)."""
 
-import pytest
-
 from repro.core import (
     GpuPhaseWork,
     HW_DESCRIPTOR_LATENCY,

@@ -4,8 +4,6 @@ The benchmark harness regenerates the full figures; these reduced-size
 runs keep the decisive *orderings* under test in the regular suite.
 """
 
-import pytest
-
 from repro.core import MECH_CDP, MECH_POLLING, ProactConfig
 from repro.core.profiler import run_phases
 from repro.hw import (

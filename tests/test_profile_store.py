@@ -46,6 +46,55 @@ def test_file_store_rejects_garbage(tmp_path):
         ProfileStore(path=path)
 
 
+def test_sweep_signature_keys_roundtrip(tmp_path):
+    # Different sweep signatures are distinct namespaces: a config chosen
+    # from a coarse grid must not satisfy a query about a finer one.
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path=path)
+    coarse = ProactConfig(MECH_POLLING, 1 * MiB, 2048)
+    fine = ProactConfig(MECH_CDP, 128 * KiB, 4096)
+    sig_coarse = "coordinate|mech=a|chunks=1048576|threads=2048"
+    sig_fine = "coordinate|mech=a|chunks=131072,1048576|threads=2048,4096"
+    store.put("4x_volta", "Pagerank", coarse, signature=sig_coarse)
+    store.put("4x_volta", "Pagerank", fine, signature=sig_fine)
+    assert store.get("4x_volta", "Pagerank", sig_coarse) == coarse
+    assert store.get("4x_volta", "Pagerank", sig_fine) == fine
+    assert store.get("4x_volta", "Pagerank") is None
+    assert len(store) == 2
+
+    reloaded = ProfileStore(path=path)
+    assert reloaded.get("4x_volta", "Pagerank", sig_coarse) == coarse
+    assert reloaded.get("4x_volta", "Pagerank", sig_fine) == fine
+    assert ("4x_volta", "Pagerank", sig_fine) in reloaded
+
+
+def test_legacy_two_part_keys_still_load(tmp_path):
+    # Stores written before sweep-signature keys used 'platform::workload'.
+    path = tmp_path / "profiles.json"
+    path.write_text('{"4x_volta::Jacobi": {"mechanism": "inline", '
+                    '"chunk_size": 4096, "transfer_threads": 32}}')
+    store = ProfileStore(path=path)
+    legacy = store.get("4x_volta", "Jacobi")
+    assert legacy is not None
+    assert legacy.mechanism == "inline"
+    assert ("4x_volta", "Jacobi") in store
+
+
+def test_get_or_profile_distinguishes_sweeps(tmp_path):
+    # A store hit requires the same search space, not just the same app.
+    store = ProfileStore(path=tmp_path / "profiles.json")
+    workload = JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
+                              iterations=2)
+    narrow = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=(1 * MiB,),
+                      thread_counts=(2048,))
+    wide = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=(128 * KiB, 1 * MiB),
+                    thread_counts=(1024, 2048))
+    store.get_or_profile(PLATFORM_4X_VOLTA, workload, narrow)
+    assert len(store) == 1
+    store.get_or_profile(PLATFORM_4X_VOLTA, workload, wide)
+    assert len(store) == 2  # the wider sweep did not hit the narrow entry
+
+
 def test_get_or_profile_caches(tmp_path):
     calls = []
 

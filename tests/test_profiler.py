@@ -6,10 +6,16 @@ from repro.core import (
     MECH_CDP,
     MECH_INLINE,
     MECH_POLLING,
+    ParallelProfiler,
     ProactConfig,
     Profiler,
 )
-from repro.core.profiler import run_phases
+from repro.core.profiler import (
+    ProcessPoolBackend,
+    ProfileEntry,
+    ProfileResult,
+    run_phases,
+)
 from repro.errors import ProactError
 from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
 from repro.units import KiB, MiB
@@ -90,6 +96,82 @@ def test_best_for_mechanism_unknown_rejected():
     profile = profiler.profile(small_jacobi().phase_builder())
     with pytest.raises(ProactError):
         profile.best_for_mechanism("dma")
+
+
+def test_best_breaks_ties_toward_smallest_config():
+    # Ties on runtime must resolve to the smallest (chunk, threads)
+    # independent of entry order, so coordinate and exhaustive search
+    # (and any executor backend) agree on the winner.
+    entries = [
+        ProfileEntry(ProactConfig(MECH_POLLING, 1 * MiB, 4096), 2.0),
+        ProfileEntry(ProactConfig(MECH_POLLING, 128 * KiB, 4096), 2.0),
+        ProfileEntry(ProactConfig(MECH_POLLING, 128 * KiB, 1024), 2.0),
+        ProfileEntry(ProactConfig(MECH_CDP, 4 * MiB, 512), 3.0),
+    ]
+    expected = ProactConfig(MECH_POLLING, 128 * KiB, 1024)
+    assert ProfileResult(entries=entries).best.config == expected
+    assert ProfileResult(entries=entries[::-1]).best.config == expected
+    reversed_result = ProfileResult(entries=entries[::-1])
+    assert reversed_result.best_for_mechanism(
+        MECH_POLLING).config == expected
+
+
+def test_coordinate_and_exhaustive_agree_on_best():
+    kwargs = dict(chunk_sizes=SMALL_CHUNKS, thread_counts=SMALL_THREADS)
+    builder = small_pagerank().phase_builder()
+    coordinate = Profiler(PLATFORM_4X_VOLTA, **kwargs).profile(builder)
+    exhaustive = Profiler(PLATFORM_4X_VOLTA, search="exhaustive",
+                          **kwargs).profile(builder)
+    assert coordinate.best_config == exhaustive.best_config
+
+
+def test_parallel_profiler_matches_serial_exactly():
+    # Each measurement is a pure function of (platform, config, phases),
+    # so the process-pool sweep must be byte-identical to the serial one
+    # — same entries, same runtimes, same order.
+    builder = small_pagerank().phase_builder()
+    for search in ("coordinate", "exhaustive"):
+        serial = Profiler(
+            PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+            thread_counts=SMALL_THREADS, search=search).profile(builder)
+        parallel = ParallelProfiler(
+            PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+            thread_counts=SMALL_THREADS, search=search,
+            jobs=4).profile(builder)
+        assert serial.entries == parallel.entries
+        assert serial.best == parallel.best
+
+
+def test_process_pool_backend_validation():
+    with pytest.raises(ProactError):
+        ProcessPoolBackend(jobs=0)
+    # jobs=1 degrades to the serial path (no pool spawned).
+    backend = ProcessPoolBackend(jobs=1)
+    entry = backend.measure_wave(
+        PLATFORM_4X_VOLTA, [ProactConfig(MECH_POLLING, 1 * MiB, 2048)],
+        small_pagerank().phase_builder())[0]
+    assert entry.runtime > 0
+    assert backend.measure_wave(
+        PLATFORM_4X_VOLTA, [], small_pagerank().phase_builder()) == []
+
+
+def test_sweep_signature_identifies_search_space():
+    base = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                    thread_counts=SMALL_THREADS)
+    same = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                    thread_counts=SMALL_THREADS)
+    assert base.sweep_signature() == same.sweep_signature()
+    # The backend is excluded: parallel sweeps share cache hits.
+    parallel = ParallelProfiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                                thread_counts=SMALL_THREADS, jobs=4)
+    assert parallel.sweep_signature() == base.sweep_signature()
+    # Any grid/search change produces a distinct namespace.
+    wider = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=(*SMALL_CHUNKS, 4 * MiB),
+                     thread_counts=SMALL_THREADS)
+    exhaustive = Profiler(PLATFORM_4X_VOLTA, chunk_sizes=SMALL_CHUNKS,
+                          thread_counts=SMALL_THREADS, search="exhaustive")
+    assert wider.sweep_signature() != base.sweep_signature()
+    assert exhaustive.sweep_signature() != base.sweep_signature()
 
 
 def test_run_phases_deterministic():

@@ -1,0 +1,170 @@
+"""Tests for the experiment registry and the parallel suite runner."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ProactError
+from repro.experiments import runner
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentContext,
+    ExperimentResult,
+    experiment_names,
+    get_spec,
+    run_experiment,
+    select_specs,
+)
+from repro.experiments.report import TextTable
+
+#: Cheap registry entries used to exercise the runner end to end.
+FAST = ["table1", "fig2"]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_covers_every_experiment_module():
+    names = experiment_names()
+    assert names[0] == "table1"  # canonical serial order preserved
+    assert len(names) == len(set(names)) == len(REGISTRY) == 13
+    for expected in ("fig1", "fig7", "table2", "ablations", "sensitivity",
+                     "utilization"):
+        assert expected in names
+
+
+def test_registry_rejects_unknown_names():
+    with pytest.raises(ProactError):
+        get_spec("fig99")
+    with pytest.raises(ProactError):
+        select_specs(only=["table1", "nope"])
+
+
+def test_select_specs_preserves_registry_order():
+    specs = select_specs(only=["fig2", "table1"])  # order given is ignored
+    assert [spec.name for spec in specs] == ["table1", "fig2"]
+
+
+def test_experiment_context_scales_micro_bytes():
+    assert (ExperimentContext(quick=True).micro_bytes
+            < ExperimentContext(quick=False).micro_bytes)
+
+
+def test_experiment_result_build_counts_rows():
+    table = TextTable("Demo", ["a", "b"])
+    table.add_row(1, 2)
+    table.add_row(3, 4)
+    result = ExperimentResult.build("demo", "Demo", [table, table],
+                                    {"key": 1})
+    assert result.rows == 4
+    assert result.tables[0].startswith("Demo")
+    payload = result.to_dict()
+    assert payload["name"] == "demo"
+    assert payload["rows"] == 4
+    assert payload["scalars"] == {"key": 1.0}
+    assert "tables" not in payload  # JSON stays lean
+
+
+def test_run_experiment_stamps_elapsed():
+    result = run_experiment("table1", ExperimentContext(quick=True))
+    assert result.name == "table1"
+    assert result.label == "Table I"
+    assert result.elapsed > 0
+    assert result.rows == 4
+    assert result.scalars["num_platforms"] == 4.0
+
+
+def test_every_spec_resolves_to_an_entry_point():
+    for spec in REGISTRY:
+        import importlib
+        module = importlib.import_module(spec.module)
+        assert callable(module.experiment), spec.name
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+def test_run_all_serial_output_and_results():
+    buffer = io.StringIO()
+    results = runner.run_all(quick=True, only=FAST, out=buffer)
+    text = buffer.getvalue()
+    assert [r.name for r in results] == FAST
+    assert "Table I" in text
+    assert "[Table I completed in" in text
+    assert "[Figure 2 completed in" in text
+    for result in results:
+        assert result.rows > 0
+        assert result.scalars
+
+
+def test_run_all_parallel_matches_serial_byte_for_byte():
+    # Experiments are pure functions of the context, so four worker
+    # processes must print exactly the tables the serial runner prints.
+    serial_buf, parallel_buf = io.StringIO(), io.StringIO()
+    serial = runner.run_all(quick=True, only=FAST + ["fig1"],
+                            out=serial_buf)
+    parallel = runner.run_all(quick=True, only=FAST + ["fig1"],
+                              out=parallel_buf, jobs=4)
+    assert [r.name for r in serial] == [r.name for r in parallel]
+    assert [r.tables for r in serial] == [r.tables for r in parallel]
+    assert [r.rows for r in serial] == [r.rows for r in parallel]
+    assert [r.scalars for r in serial] == [r.scalars for r in parallel]
+
+    def tables_only(text):
+        return [line for line in text.splitlines()
+                if not line.startswith("[")]  # drop wall-time lines
+
+    assert tables_only(serial_buf.getvalue()) == tables_only(
+        parallel_buf.getvalue())
+
+
+def test_run_all_writes_results_json(tmp_path):
+    path = tmp_path / "results.json"
+    buffer = io.StringIO()
+    results = runner.run_all(quick=True, only=FAST, out=buffer,
+                             json_path=str(path))
+    payload = json.loads(path.read_text())
+    assert payload["suite"] == "repro-experiments"
+    assert payload["quick"] is True
+    assert payload["jobs"] == 1
+    assert payload["total_elapsed"] > 0
+    assert len(payload["experiments"]) == len(results)
+    for entry, result in zip(payload["experiments"], results):
+        assert entry["name"] == result.name
+        assert entry["label"] == result.label
+        assert entry["rows"] == result.rows
+        assert entry["elapsed"] == result.elapsed
+        assert entry["scalars"] == result.scalars
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert runner.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in experiment_names():
+        assert name in out
+
+
+def test_cli_only_and_json(tmp_path, capsys):
+    path = tmp_path / "results.json"
+    assert runner.main(["--quick", "--only", "table1",
+                        "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    payload = json.loads(path.read_text())
+    assert [e["name"] for e in payload["experiments"]] == ["table1"]
+
+
+def test_cli_rejects_bad_arguments():
+    with pytest.raises(SystemExit):
+        runner.main(["--only", "fig99"])
+    with pytest.raises(SystemExit):
+        runner.main(["--jobs", "0", "--only", "table1"])
+    with pytest.raises(SystemExit):
+        runner.main(["--quick", "--full"])

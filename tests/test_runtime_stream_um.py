@@ -12,7 +12,6 @@ from repro.runtime import (
     System,
     UM_FAULT_BATCH,
     UM_FAULT_PAGE_SIZE,
-    UM_PAGE_SIZE,
     UnifiedMemoryModel,
 )
 from repro.units import GiB, MiB
