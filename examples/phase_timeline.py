@@ -7,6 +7,11 @@ producer kernel, ``>`` is transfer time still draining after the kernel.
 Decoupled transfers hide almost everything; a deliberately mis-tuned
 single-chunk configuration exposes the paper's "tail transfer" pathology.
 
+The last strip is rendered from *structured trace data* instead of the
+phase summary: the run records into a tracer, and the strip is rebuilt
+from its ``gpu{N}.kernel`` / ``gpu{N}.transfer`` span lanes — the same
+lanes ``python -m repro --trace trace.json`` exports for Perfetto.
+
 Run:  python examples/phase_timeline.py
 """
 
@@ -16,8 +21,13 @@ from repro.core import (
     MECH_POLLING,
     ProactPhaseExecutor,
 )
-from repro.experiments.timeline import render_phase_timeline
+from repro.experiments.timeline import (
+    render_phase_timeline,
+    render_trace_timeline,
+    trace_exposed_transfer_time,
+)
 from repro.hw import PLATFORM_4X_VOLTA
+from repro.sim.trace import Tracer
 from repro.units import KiB, MiB
 
 
@@ -47,6 +57,21 @@ def show(title, config):
     print()
 
 
+def show_traced(title, config):
+    """Same phase, but the strip is rebuilt from the recorded trace."""
+    system = System(PLATFORM_4X_VOLTA, tracer=Tracer())
+    executor = ProactPhaseExecutor(system, config)
+    result = system.run(until=executor.execute(build_phase(system)))
+    system.finish_observation()
+    print(f"--- {title} ({config.label()}) ---")
+    print(render_trace_timeline(system.tracer))
+    reconstructed = trace_exposed_transfer_time(system.tracer)
+    print(f"exposed transfer from trace lanes: {reconstructed * 1e6:.1f} us"
+          f" (phase summary agrees: "
+          f"{result.exposed_transfer_time * 1e6:.1f} us)")
+    print()
+
+
 def main() -> None:
     show("well-tuned polling",
          ProactConfig(MECH_POLLING, 128 * KiB, 2048))
@@ -54,6 +79,8 @@ def main() -> None:
          ProactConfig(MECH_POLLING, 32 * MiB, 2048))
     show("hardware PROACT (Section III-D)",
          ProactConfig(MECH_HARDWARE, 128 * KiB, 2048))
+    show_traced("trace-rendered: tail-transfer pathology",
+                ProactConfig(MECH_POLLING, 32 * MiB, 2048))
 
 
 if __name__ == "__main__":

@@ -2,7 +2,13 @@
 
 Delegates to :mod:`repro.experiments.runner`; see ``--help`` for the
 full flag set (``--full``, ``--jobs N``, ``--only NAME``,
-``--json PATH``, ``--list``).
+``--json PATH``, ``--trace PATH``, ``--metrics PATH``, ``--list``).
+
+Example with observability::
+
+    python -m repro --only fig9 --trace trace.json --metrics metrics.json
+
+then open ``trace.json`` at https://ui.perfetto.dev.
 """
 
 import sys

@@ -101,6 +101,15 @@ class DecoupledAgent:
             raise ProactError("chunk_ready() after close()")
         if nbytes < 1:
             raise ProactError(f"chunk must be >= 1 byte: {nbytes}")
+        engine = self.system.engine
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                engine.now, f"gpu{self.src_id}.agent", "chunk-ready",
+                payload={"bytes": nbytes,
+                         "mechanism": self.config.mechanism})
+        if engine.metrics.enabled:
+            engine.metrics.inc("chunks_ready", src=self.src_id,
+                               mechanism=self.config.mechanism)
         self._dispatch(nbytes)
         self.stats.chunks_sent += 1
 
@@ -135,12 +144,17 @@ class DecoupledAgent:
     def _send_chunk(self, nbytes: int):
         """Generator: send one chunk's per-peer share to every destination."""
         per_dest_bytes = max(1, round(nbytes * self.peer_fraction))
+        metrics = self.system.engine.metrics
         sends = []
         for dst in self.destinations:
             self.stats.sends_issued += 1
             self.stats.bytes_sent += per_dest_bytes
             per_dst = self.stats.per_destination_bytes
             per_dst[dst] = per_dst.get(dst, 0) + per_dest_bytes
+            if metrics.enabled:
+                metrics.inc("bytes_sent", per_dest_bytes,
+                            src=self.src_id, dst=dst,
+                            mechanism=self.config.mechanism)
             if self.elide_transfers:
                 continue
             sends.append(

@@ -41,12 +41,20 @@ class CdpAgent(DecoupledAgent):
         device = self._device
         # Dynamic kernel launches funnel through the host driver one at a
         # time; this is the initiation-bound region of Figure 6.
+        launch_requested = engine.now
         yield device.cdp_launcher.request()
         try:
             yield engine.timeout(device.spec.cdp_launch_latency)
         finally:
             device.cdp_launcher.release()
         device.cdp_launch_count += 1
+        if engine.tracer.enabled:
+            engine.tracer.span(
+                launch_requested, engine.now,
+                f"gpu{self.src_id}.agent", "cdp-launch",
+                payload={"bytes": nbytes})
+        if engine.metrics.enabled:
+            engine.metrics.inc("cdp_launches", src=self.src_id)
         # While the copy kernel runs, its threads occupy GPU resources.
         gpu = self.system.gpus[self.src_id]
         demand = gpu.spec.transfer_thread_demand(self.config.transfer_threads)

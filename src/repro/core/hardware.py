@@ -65,7 +65,14 @@ class HardwareAgent(DecoupledAgent):
             name=f"hw-send:gpu{self.src_id}")
 
     def _engine_transfer(self, nbytes: int):
-        yield self.system.engine.timeout(HW_DESCRIPTOR_LATENCY)
+        engine = self.system.engine
+        yield engine.timeout(HW_DESCRIPTOR_LATENCY)
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                engine.now, f"gpu{self.src_id}.agent", "hw-descriptor",
+                payload={"bytes": nbytes})
+        if engine.metrics.enabled:
+            engine.metrics.inc("hw_descriptors", src=self.src_id)
         yield from self._send_chunk(nbytes)
         self._end_send()
 

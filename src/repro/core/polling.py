@@ -95,6 +95,15 @@ class PollingAgent(DecoupledAgent):
         elapsed = engine.now - self._started_at
         wait = period - math.fmod(elapsed, period)
         yield engine.timeout(wait)
+        # The bitmap scan that found this chunk is an agent wakeup.
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                engine.now, f"gpu{self.src_id}.agent", "poll",
+                payload={"waited_s": wait})
+        if engine.metrics.enabled:
+            engine.metrics.inc("agent_polls", src=self.src_id)
+            engine.metrics.observe("poll_wait_us", wait * 1e6,
+                                   src=self.src_id)
         # Per-chunk dispatch work serializes within the agent.
         yield self._dispatcher.request()
         try:

@@ -54,6 +54,8 @@ from repro.core.config import (
 from repro.core.runtime import GpuPhaseWork, ProactPhaseExecutor
 from repro.errors import ProactError
 from repro.hw.platform import PlatformSpec
+from repro.obs.capture import active as active_observation
+from repro.obs.capture import suppress as suppress_observation
 from repro.runtime.system import System
 
 #: A phase builder produces the application's phases for a given system.
@@ -122,6 +124,7 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
 
     done = system.engine.process(driver(), name="app")
     system.run(until=done)
+    system.finish_observation()
     return system.now
 
 
@@ -294,7 +297,35 @@ class Profiler:
                       phase_builder: PhaseBuilder) -> List[ProfileEntry]:
         flat = [config for mechanism in self.mechanisms
                 for config in wave[mechanism]]
-        return self.backend.measure_wave(self.platform, flat, phase_builder)
+        # Candidate measurements build hundreds of throwaway systems;
+        # suppress the ambient observation so they do not flood the
+        # trace (and so serial and process-pool backends — where workers
+        # never see the parent's scope — observe identically).  The
+        # per-candidate timings themselves are published afterwards.
+        with suppress_observation():
+            entries = self.backend.measure_wave(
+                self.platform, flat, phase_builder)
+        self._observe_entries(entries)
+        return entries
+
+    def _observe_entries(self, entries: Sequence[ProfileEntry]) -> None:
+        """Publish per-candidate sweep timings to the ambient scope."""
+        observation = active_observation()
+        if observation is None:
+            return
+        for order, entry in enumerate(entries):
+            config = entry.config
+            observation.ambient_tracer.record(
+                float(order), "profiler", config.label(),
+                payload={"runtime_s": entry.runtime,
+                         "platform": self.platform.name})
+            observation.metrics.observe(
+                "profile_candidate_runtime_ms", entry.runtime * 1e3,
+                platform=self.platform.name,
+                mechanism=config.mechanism)
+            observation.metrics.inc(
+                "profile_candidates", platform=self.platform.name,
+                mechanism=config.mechanism)
 
     def _split_by_mechanism(self, wave: Dict[str, List[ProactConfig]],
                             entries: Sequence[ProfileEntry],

@@ -140,6 +140,7 @@ class ProactPhaseExecutor:
         self.config = config
         self.elide_transfers = elide_transfers
         self.instrument = instrument
+        self._phase_index = 0
 
     def execute(self, works: Sequence[GpuPhaseWork]):
         """Run one phase; returns the completion process (PhaseResult)."""
@@ -155,17 +156,42 @@ class ProactPhaseExecutor:
     # ------------------------------------------------------------------
     def _execute(self, works: Sequence[GpuPhaseWork]):
         engine = self.system.engine
+        phase_name = f"phase{self._phase_index}"
+        self._phase_index += 1
         result = PhaseResult(start=engine.now, end=engine.now)
         per_gpu = []
-        for gpu_id, work in enumerate(works):
-            outcome = GpuPhaseOutcome(gpu_id=gpu_id)
-            result.outcomes.append(outcome)
-            per_gpu.append(engine.process(
-                self._run_gpu(gpu_id, work, outcome),
-                name=f"phase-gpu{gpu_id}"))
-        yield engine.all_of(per_gpu)
+        # Everything published while this phase is in flight — agent
+        # polls, chunk sends, transfer bytes — is attributed to it.
+        with engine.metrics.phase(phase_name):
+            for gpu_id, work in enumerate(works):
+                outcome = GpuPhaseOutcome(gpu_id=gpu_id)
+                result.outcomes.append(outcome)
+                per_gpu.append(engine.process(
+                    self._run_gpu(gpu_id, work, outcome),
+                    name=f"phase-gpu{gpu_id}"))
+            yield engine.all_of(per_gpu)
         result.end = engine.now
+        self._observe_phase(phase_name, result)
         return result
+
+    def _observe_phase(self, phase_name: str, result: PhaseResult) -> None:
+        engine = self.system.engine
+        if engine.tracer.enabled:
+            engine.tracer.span(
+                result.start, result.end, "phase", phase_name,
+                payload={
+                    "mechanism": self.config.mechanism,
+                    "exposed_transfer_s": result.exposed_transfer_time,
+                    "bytes_sent": result.total_bytes_sent,
+                })
+        if engine.metrics.enabled:
+            engine.metrics.inc("phases", mechanism=self.config.mechanism)
+            engine.metrics.observe(
+                "phase_duration_ms", result.duration * 1e3,
+                mechanism=self.config.mechanism)
+            engine.metrics.observe(
+                "exposed_transfer_ms", result.exposed_transfer_time * 1e3,
+                mechanism=self.config.mechanism)
 
     def _destinations(self, gpu_id: int) -> List[int]:
         return [d for d in range(self.system.num_gpus) if d != gpu_id]
@@ -182,6 +208,26 @@ class ProactPhaseExecutor:
             yield from self._run_decoupled(gpu_id, work, outcome,
                                            destinations)
 
+    def _observe_gpu(self, gpu_id: int, work: GpuPhaseWork,
+                     outcome: GpuPhaseOutcome) -> None:
+        """Publish one GPU's kernel and transfer-drain lanes."""
+        engine = self.system.engine
+        if engine.tracer.enabled:
+            engine.tracer.span(
+                outcome.kernel_start, outcome.kernel_end,
+                f"gpu{gpu_id}.kernel", work.kernel.name,
+                payload={"region_bytes": work.region_bytes})
+            if outcome.transfers_end > outcome.kernel_end:
+                engine.tracer.span(
+                    outcome.kernel_end, outcome.transfers_end,
+                    f"gpu{gpu_id}.agent", "drain",
+                    payload={"mechanism": self.config.mechanism})
+        if engine.metrics.enabled:
+            engine.metrics.observe(
+                "kernel_ms",
+                (outcome.kernel_end - outcome.kernel_start) * 1e3,
+                gpu=gpu_id)
+
     def _run_compute_only(self, gpu_id: int, work: GpuPhaseWork,
                           outcome: GpuPhaseOutcome):
         device = self.system.devices[gpu_id]
@@ -192,6 +238,7 @@ class ProactPhaseExecutor:
         yield launch.done
         outcome.kernel_end = self.system.engine.now
         outcome.transfers_end = outcome.kernel_end
+        self._observe_gpu(gpu_id, work, outcome)
 
     # -- decoupled (polling / CDP) -------------------------------------
     def _make_agent(self, gpu_id: int, destinations: List[int],
@@ -247,6 +294,7 @@ class ProactPhaseExecutor:
         outcome.transfers_end = engine.now
         outcome.bytes_sent = agent.stats.bytes_sent
         outcome.chunks_sent = agent.stats.chunks_sent
+        self._observe_gpu(gpu_id, work, outcome)
 
     # -- inline ---------------------------------------------------------
     def _run_inline(self, gpu_id: int, work: GpuPhaseWork,
@@ -299,3 +347,8 @@ class ProactPhaseExecutor:
         outcome.bytes_sent = (int(work.region_bytes * work.peer_fraction)
                               * len(destinations))
         outcome.chunks_sent = segments
+        if engine.metrics.enabled:
+            engine.metrics.inc("inline_segments", segments, gpu=gpu_id)
+            engine.metrics.inc("bytes_sent", outcome.bytes_sent,
+                               src=gpu_id, mechanism=MECH_INLINE)
+        self._observe_gpu(gpu_id, work, outcome)

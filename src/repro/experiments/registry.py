@@ -34,10 +34,17 @@ class ExperimentContext:
 
     ``quick`` shrinks the microbenchmark data size and the profiler
     grids so the full suite completes in minutes; the shapes are the
-    same, just with coarser sweeps.
+    same, just with coarser sweeps.  ``observe`` wraps each experiment
+    in an :func:`repro.obs.capture` scope so every system it builds is
+    traced and metered; the captured Chrome-trace document and metrics
+    snapshot travel back on the :class:`ExperimentResult` (picklable, so
+    this works across the runner's worker processes).  Observation never
+    changes an experiment's tables — tracing only records, it does not
+    schedule.
     """
 
     quick: bool = True
+    observe: bool = False
 
     @property
     def micro_bytes(self) -> int:
@@ -55,6 +62,10 @@ class ExperimentResult:
     rows: int
     scalars: Dict[str, float] = field(default_factory=dict)
     elapsed: float = 0.0
+    #: Chrome-trace document captured when the context asked to observe.
+    trace: Optional[Dict] = None
+    #: Metrics snapshot captured when the context asked to observe.
+    metrics: Optional[Dict] = None
 
     @classmethod
     def build(cls, name: str, label: str, tables: Sequence[TextTable],
@@ -69,14 +80,22 @@ class ExperimentResult:
         )
 
     def to_dict(self) -> Dict:
-        """JSON-ready form (tables omitted; they live in the text log)."""
-        return {
+        """JSON-ready form (tables omitted; they live in the text log).
+
+        Metrics are merged into the results schema when captured; the
+        trace document is left out (it gets its own file via
+        ``--trace``) to keep ``results.json`` lean.
+        """
+        payload = {
             "name": self.name,
             "label": self.label,
             "elapsed": self.elapsed,
             "rows": self.rows,
             "scalars": dict(self.scalars),
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
 
 @dataclass(frozen=True)
@@ -155,6 +174,13 @@ def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     """
     spec = get_spec(name)
     started = time.perf_counter()
-    result = spec.run(ctx)
+    if ctx.observe:
+        from repro.obs import capture
+        with capture() as observation:
+            result = spec.run(ctx)
+        result.trace = observation.chrome_trace()
+        result.metrics = observation.metrics.snapshot()
+    else:
+        result = spec.run(ctx)
     result.elapsed = time.perf_counter() - started
     return result

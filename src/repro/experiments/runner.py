@@ -15,7 +15,14 @@ Command line::
 
     python -m repro.experiments.runner [--full | --quick] [--jobs N]
                                        [--only NAME ...] [--json PATH]
+                                       [--trace PATH] [--metrics PATH]
                                        [--list]
+
+``--trace`` captures every simulated system built by the selected
+experiments and writes one merged Chrome-trace JSON (open it at
+https://ui.perfetto.dev); ``--metrics`` writes the aggregated metrics
+registry snapshots.  Either flag turns observation on; captured metrics
+are also merged into the ``--json`` results schema.
 """
 
 from __future__ import annotations
@@ -92,9 +99,31 @@ def write_results_json(path: pathlib.Path,
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def write_trace_json(path: pathlib.Path,
+                     results: Sequence[ExperimentResult]) -> None:
+    """Merge per-experiment Chrome traces into one loadable document."""
+    from repro.obs import merge_chrome_traces, write_chrome_trace
+    document = merge_chrome_traces(
+        [result.trace for result in results if result.trace is not None])
+    write_chrome_trace(path, document)
+
+
+def write_metrics_json(path: pathlib.Path,
+                       results: Sequence[ExperimentResult]) -> None:
+    """Write every experiment's metrics snapshot, keyed by name."""
+    payload = {
+        "suite": "repro-experiments",
+        "experiments": {result.name: result.metrics for result in results
+                        if result.metrics is not None},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def run_all(quick: bool = True, out: Optional[TextIO] = None,
             jobs: int = 1, only: Optional[Sequence[str]] = None,
-            json_path: Optional[str] = None) -> List[ExperimentResult]:
+            json_path: Optional[str] = None,
+            trace_path: Optional[str] = None,
+            metrics_path: Optional[str] = None) -> List[ExperimentResult]:
     """Run the experiment suite, printing each table as it completes.
 
     ``quick=True`` shrinks the microbenchmark data size and the profiler
@@ -103,10 +132,14 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     experiments over worker processes without changing any output table.
     ``only`` restricts the run to the named registry entries, and
     ``json_path`` additionally writes the structured results summary.
+    ``trace_path``/``metrics_path`` turn on observation and write the
+    merged Chrome trace / metrics snapshots; the printed tables are
+    byte-identical with observation on or off.
     """
     stream = out or sys.stdout
     names = [spec.name for spec in select_specs(only)]
-    ctx = ExperimentContext(quick=quick)
+    observe = trace_path is not None or metrics_path is not None
+    ctx = ExperimentContext(quick=quick, observe=observe)
 
     started = time.perf_counter()
     if jobs > 1 and len(names) > 1:
@@ -118,6 +151,10 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     if json_path is not None:
         write_results_json(pathlib.Path(json_path), results, quick, jobs,
                            total_elapsed)
+    if trace_path is not None:
+        write_trace_json(pathlib.Path(trace_path), results)
+    if metrics_path is not None:
+        write_metrics_json(pathlib.Path(metrics_path), results)
     return results
 
 
@@ -143,6 +180,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--json", metavar="PATH",
         help="write a machine-readable results summary to PATH")
     parser.add_argument(
+        "--trace", metavar="PATH",
+        help="capture and write a Chrome-trace JSON (Perfetto-loadable) "
+             "of every simulated system to PATH")
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="capture and write per-experiment metrics snapshots to PATH")
+    parser.add_argument(
         "--list", action="store_true",
         help="list registered experiment names and exit")
     args = parser.parse_args(argv)
@@ -155,7 +199,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     run_all(quick=args.quick, jobs=args.jobs, only=args.only,
-            json_path=args.json)
+            json_path=args.json, trace_path=args.trace,
+            metrics_path=args.metrics)
     return 0
 
 

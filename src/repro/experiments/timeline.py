@@ -1,29 +1,75 @@
 """ASCII timelines of phase execution: see the overlap.
 
-Renders one :class:`~repro.core.runtime.PhaseResult` as a per-GPU Gantt
-strip — kernel execution as ``#``, transfers still draining after the
-kernel as ``>`` — which makes the difference between bulk-synchronous and
-proactive communication visible at a glance:
+Renders per-GPU Gantt strips — kernel execution as ``#``, transfers
+still draining as ``>`` — which makes the difference between
+bulk-synchronous and proactive communication visible at a glance:
 
     gpu0 |############################>>>>>|
     gpu1 |#########################        |
+
+Two entry points:
+
+* :func:`render_trace_timeline` builds the strips from structured trace
+  data — the ``gpu{N}.kernel`` and ``gpu{N}.transfer`` span lanes a
+  traced :class:`~repro.runtime.system.System` records — so a strip can
+  cover any number of phases and any component that traced a span.
+* :func:`render_phase_timeline` renders one
+  :class:`~repro.core.runtime.PhaseResult` from its summary timestamps
+  (no tracer needed).  Events outside the phase window are *marked*
+  (``!`` at the strip edge) rather than silently clamped; pass
+  ``strict=True`` to raise instead.
 """
 
 from __future__ import annotations
 
-from typing import List
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import PhaseResult
+from repro.sim.trace import Tracer
 from repro.units import format_time
 
 #: Glyphs used in the strip.
 GLYPH_KERNEL = "#"
 GLYPH_TRANSFER = ">"
 GLYPH_IDLE = " "
+GLYPH_TRUNCATED = "!"
+
+_GPU_LANE = re.compile(r"^gpu(\d+)\.(kernel|transfer)$")
 
 
-def render_phase_timeline(result: PhaseResult, width: int = 64) -> str:
-    """Render a phase as one Gantt strip per GPU."""
+class TimelineTruncationError(ValueError):
+    """An event falls outside the rendered window (strict mode)."""
+
+
+def _paint(strip: List[str], spans: Sequence[Tuple[float, float]],
+           start: float, span: float, glyph: str,
+           overwrite: bool = True) -> None:
+    """Mark every column a span overlaps; zero-width spans get a tick."""
+    width = len(strip)
+    window_end = start + span
+    for lo, hi in spans:
+        if hi < start or lo > window_end:
+            continue
+        left = (lo - start) / span * width
+        right = (max(lo, hi - 1e-15) - start) / span * width
+        first = max(0, min(width - 1, int(left)))
+        last = max(first, min(width - 1, int(right)))
+        for column in range(first, last + 1):
+            if overwrite or strip[column] == GLYPH_IDLE:
+                strip[column] = glyph
+
+
+def render_phase_timeline(result: PhaseResult, width: int = 64,
+                          strict: bool = False) -> str:
+    """Render a phase as one Gantt strip per GPU.
+
+    An outcome whose events fall outside ``[result.start, result.end]``
+    would previously be clamped to the strip edge without any
+    indication; such strips are now flagged with ``!`` after the closing
+    bar and a ``(truncated)`` note.  With ``strict=True`` the render
+    raises :class:`TimelineTruncationError` instead.
+    """
     if width < 8:
         raise ValueError(f"timeline width too small: {width}")
     span = result.end - result.start
@@ -39,7 +85,17 @@ def render_phase_timeline(result: PhaseResult, width: int = 64) -> str:
         f"(kernels done at {format_time(result.last_kernel_end - result.start)}, "
         f"exposed transfers {format_time(result.exposed_transfer_time)})"
     ]
+    any_truncated = False
     for outcome in result.outcomes:
+        truncated = (outcome.kernel_start < result.start
+                     or outcome.transfers_end > result.end)
+        if truncated and strict:
+            raise TimelineTruncationError(
+                f"gpu{outcome.gpu_id} events "
+                f"[{outcome.kernel_start}, {outcome.transfers_end}] fall "
+                f"outside the phase window "
+                f"[{result.start}, {result.end}]")
+        any_truncated = any_truncated or truncated
         strip = [GLYPH_IDLE] * width
         k_start = column(outcome.kernel_start)
         k_end = column(outcome.kernel_end)
@@ -50,5 +106,83 @@ def render_phase_timeline(result: PhaseResult, width: int = 64) -> str:
         for i in range(k_end, t_end):
             if i < width:
                 strip[i] = GLYPH_TRANSFER
-        lines.append(f"gpu{outcome.gpu_id:<2d} |{''.join(strip)}|")
+        marker = GLYPH_TRUNCATED if truncated else ""
+        lines.append(f"gpu{outcome.gpu_id:<2d} |{''.join(strip)}|{marker}")
+    if any_truncated:
+        lines[0] += " (! = events truncated to the phase window)"
     return "\n".join(lines)
+
+
+def gpu_lane_spans(tracer: Tracer,
+                   ) -> Dict[int, Dict[str, List[Tuple[float, float]]]]:
+    """Per-GPU ``kernel``/``transfer`` span intervals from a trace."""
+    lanes: Dict[int, Dict[str, List[Tuple[float, float]]]] = {}
+    for channel in tracer.channels():
+        match = _GPU_LANE.match(channel)
+        if not match:
+            continue
+        gpu_id, lane = int(match.group(1)), match.group(2)
+        spans = [(r.time, r.end) for r in tracer.channel(channel)
+                 if r.is_span]
+        if spans:
+            lanes.setdefault(gpu_id, {})[lane] = spans
+    return lanes
+
+
+def render_trace_timeline(tracer: Tracer, width: int = 64,
+                          start: Optional[float] = None,
+                          end: Optional[float] = None) -> str:
+    """Render per-GPU kernel/transfer lanes of a traced run.
+
+    The window defaults to the full extent of the traced spans.  Kernel
+    time paints ``#`` and wins over concurrent transfers; transfer time
+    not under a kernel paints ``>`` — the exposed-transfer picture the
+    paper's Figure 9 reasons about, reconstructed purely from the trace.
+    """
+    if width < 8:
+        raise ValueError(f"timeline width too small: {width}")
+    lanes = gpu_lane_spans(tracer)
+    if not lanes:
+        return "(no gpu lanes traced)"
+    all_spans = [interval for per_gpu in lanes.values()
+                 for spans in per_gpu.values() for interval in spans]
+    lo = min(s for s, _e in all_spans) if start is None else start
+    hi = max(e for _s, e in all_spans) if end is None else end
+    span = hi - lo
+    if span <= 0:
+        return "(empty trace window)"
+    last_kernel_end = max(
+        (e for per_gpu in lanes.values()
+         for s, e in per_gpu.get("kernel", ())), default=lo)
+    exposed = max(0.0, hi - last_kernel_end)
+    lines = [
+        f"trace: {format_time(span)} "
+        f"(kernels done at {format_time(last_kernel_end - lo)}, "
+        f"exposed transfers {format_time(exposed)})"
+    ]
+    for gpu_id in sorted(lanes):
+        strip = [GLYPH_IDLE] * width
+        _paint(strip, lanes[gpu_id].get("transfer", ()), lo, span,
+               GLYPH_TRANSFER)
+        _paint(strip, lanes[gpu_id].get("kernel", ()), lo, span,
+               GLYPH_KERNEL)
+        lines.append(f"gpu{gpu_id:<2d} |{''.join(strip)}|")
+    return "\n".join(lines)
+
+
+def trace_exposed_transfer_time(tracer: Tracer) -> float:
+    """Exposed (non-overlapped) transfer time, from trace lanes alone.
+
+    Defined exactly as :attr:`PhaseResult.exposed_transfer_time`: the
+    time between the last kernel retiring and the last transfer
+    draining, reconstructed from the ``gpu{N}.kernel`` and
+    ``gpu{N}.transfer`` span lanes.
+    """
+    lanes = gpu_lane_spans(tracer)
+    kernel_ends = [e for per_gpu in lanes.values()
+                   for _s, e in per_gpu.get("kernel", ())]
+    if not kernel_ends:
+        return 0.0
+    all_ends = [e for per_gpu in lanes.values()
+                for spans in per_gpu.values() for _s, e in spans]
+    return max(0.0, max(all_ends) - max(kernel_ends))

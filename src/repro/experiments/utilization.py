@@ -9,11 +9,18 @@ idle-then-burst sawtooths, PROACT a steady plateau.
 
 The summary statistic is the coefficient of variation (CV) of per-bucket
 fabric utilization: lower CV = smoother use of the interconnect.
+
+The profiles are rendered from *trace data*: each run records into a
+:class:`~repro.sim.trace.Tracer`, link occupancy is flushed as merged
+busy spans on the per-GPU ``link:*`` lanes, and the timelines here are
+bucketed from those spans — the same lanes a ``--trace`` export shows in
+Perfetto.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,19 +32,27 @@ from repro.interconnect.link import Link
 from repro.paradigms import BulkMemcpyParadigm, ProactDecoupledParadigm
 from repro.paradigms.base import Paradigm
 from repro.runtime.system import System
+from repro.sim.trace import IntervalStats, Tracer
 from repro.workloads import MicroBenchmark, PageRankWorkload, Workload
 
+_LINK_LANE = re.compile(r"(?:^|\.)link:")
 
-def link_utilization_timeline(link: Link, end_time: float,
-                              buckets: int) -> List[float]:
-    """Fraction of each time bucket the link spent busy."""
+
+def utilization_timeline(intervals: Sequence[Tuple[float, float]],
+                         end_time: float, buckets: int) -> List[float]:
+    """Fraction of each time bucket covered by the given busy intervals.
+
+    Intervals must be non-overlapping (e.g. from
+    :meth:`~repro.sim.trace.IntervalStats.merged` or a flushed trace
+    lane) so a bucket's busy time never double counts.
+    """
     if buckets < 1:
         raise ValueError(f"need >= 1 bucket: {buckets}")
     if end_time <= 0:
         return [0.0] * buckets
     width = end_time / buckets
     busy = [0.0] * buckets
-    for start, stop in link.busy.intervals:
+    for start, stop in intervals:
         first = min(buckets - 1, int(start / width))
         last = min(buckets - 1, int(max(start, stop - 1e-15) / width))
         for bucket in range(first, last + 1):
@@ -45,6 +60,43 @@ def link_utilization_timeline(link: Link, end_time: float,
             hi = lo + width
             busy[bucket] += max(0.0, min(stop, hi) - max(start, lo))
     return [min(1.0, value / width) for value in busy]
+
+
+def link_utilization_timeline(link: Link, end_time: float,
+                              buckets: int) -> List[float]:
+    """Fraction of each time bucket the link spent busy."""
+    return utilization_timeline(link.busy.merged(), end_time, buckets)
+
+
+def trace_link_intervals(tracer: Tracer) -> Dict[str, IntervalStats]:
+    """Busy intervals per link lane, read back from trace spans."""
+    lanes: Dict[str, IntervalStats] = {}
+    for channel in tracer.channels():
+        if not _LINK_LANE.search(channel):
+            continue
+        stats = IntervalStats()
+        for record in tracer.channel(channel):
+            if record.is_span:
+                stats.add(record.time, record.end)
+        if stats.intervals:
+            lanes[channel] = stats
+    return lanes
+
+
+def fabric_utilization_timeline_from_trace(tracer: Tracer, end_time: float,
+                                           buckets: int) -> List[float]:
+    """Mean per-bucket utilization across the traced link lanes.
+
+    Only links that carried data appear in the trace (idle links flush
+    no busy spans), so the profile reflects how the *used* paths were
+    driven.
+    """
+    lanes = trace_link_intervals(tracer)
+    if not lanes:
+        return [0.0] * buckets
+    timelines = [utilization_timeline(stats.merged(), end_time, buckets)
+                 for stats in lanes.values()]
+    return [sum(values) / len(values) for values in zip(*timelines)]
 
 
 def fabric_utilization_timeline(system: System, end_time: float,
@@ -91,6 +143,9 @@ class UtilizationResult:
     buckets: int
     timelines: Dict[str, List[float]] = field(default_factory=dict)
     runtimes: Dict[str, float] = field(default_factory=dict)
+    #: Mean whole-run utilization of the active links, from
+    #: :meth:`~repro.sim.trace.IntervalStats.utilization`.
+    link_utils: Dict[str, float] = field(default_factory=dict)
 
     def cv(self, paradigm: str) -> float:
         return coefficient_of_variation(self.timelines[paradigm])
@@ -99,10 +154,10 @@ class UtilizationResult:
         table = TextTable(
             title=(f"Interconnect utilization over time: {self.workload} "
                    f"({self.platform}, {self.buckets} buckets)"),
-            columns=["paradigm", "profile", "mean", "CV"])
+            columns=["paradigm", "profile", "mean util", "CV"])
         for name, series in self.timelines.items():
             glyphs = "".join(_spark(value) for value in series)
-            mean = sum(series) / len(series)
+            mean = self.link_utils.get(name, sum(series) / len(series))
             table.add_row(name, glyphs, mean, self.cv(name))
         return table
 
@@ -118,9 +173,16 @@ def _spark(value: float) -> str:
 
 def _run_with_fabric(paradigm: Paradigm, workload: Workload,
                      platform: PlatformSpec,
-                     buckets: int) -> Tuple[List[float], float]:
-    """Execute a paradigm while keeping the system for link inspection."""
-    system = System(platform, **paradigm._system_kwargs())
+                     buckets: int) -> Tuple[List[float], float, float]:
+    """Execute a paradigm under a tracer and profile its link lanes.
+
+    The run records into its own :class:`~repro.sim.trace.Tracer`; link
+    occupancy is flushed as merged busy spans by
+    :meth:`~repro.runtime.system.System.finish_observation` and the
+    utilization profile is bucketed from those trace lanes — the same
+    data a ``--trace`` export would show.
+    """
+    system = System(platform, tracer=Tracer(), **paradigm._system_kwargs())
     phases = workload.phase_builder()(system)
     from repro.paradigms.base import ParadigmResult
     result = ParadigmResult(paradigm=paradigm.name, platform=platform.name,
@@ -128,8 +190,14 @@ def _run_with_fabric(paradigm: Paradigm, workload: Workload,
     driver = system.engine.process(
         paradigm._drive(system, workload, phases, result))
     system.run(until=driver)
-    return (fabric_utilization_timeline(system, system.now, buckets),
-            system.now)
+    system.finish_observation()
+    lanes = trace_link_intervals(system.tracer)
+    mean_util = (sum(stats.utilization(system.now)
+                     for stats in lanes.values()) / len(lanes)
+                 if lanes else 0.0)
+    return (fabric_utilization_timeline_from_trace(
+                system.tracer, system.now, buckets),
+            system.now, mean_util)
 
 
 def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
@@ -144,10 +212,11 @@ def run(platform: PlatformSpec = PLATFORM_4X_VOLTA,
         ProactDecoupledParadigm(decoupled_config_for(platform)),
     )
     for paradigm in paradigms:
-        timeline, runtime = _run_with_fabric(
+        timeline, runtime, mean_util = _run_with_fabric(
             paradigm, target, platform, buckets)
         result.timelines[paradigm.name] = timeline
         result.runtimes[paradigm.name] = runtime
+        result.link_utils[paradigm.name] = mean_util
     return result
 
 

@@ -12,12 +12,17 @@ after any simulation.
 
 from __future__ import annotations
 
+import re
 import typing
 
 from repro.errors import ConfigurationError
 from repro.interconnect.packet import PacketFormat
 from repro.sim.resources import Resource
 from repro.sim.trace import IntervalStats
+
+#: First ``gpu{N}`` mentioned in a link name owns its trace lane
+#: (``pcie:gpu2->sw`` and ``nvsw:sw->gpu2`` both belong to GPU 2).
+_OWNER = re.compile(r"gpu(\d+)")
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -45,6 +50,8 @@ class Link:
         self.goodput_bytes = 0
         self.wire_bytes = 0
         self.busy = IntervalStats()
+        owner = _OWNER.search(name)
+        self.owner_gpu = int(owner.group(1)) if owner else None
 
     def service_time(self, wire_bytes: int) -> float:
         """Seconds the link is occupied moving ``wire_bytes``."""
@@ -55,6 +62,15 @@ class Link:
         self.goodput_bytes += goodput
         self.wire_bytes += wire
         self.busy.add(start, end)
+        tracer = self.engine.tracer
+        if tracer.enabled and tracer.verbose:
+            # Per-quantum service spans are verbose-only: the merged
+            # occupancy lane is flushed by System.finish_observation().
+            channel = (f"gpu{self.owner_gpu}.link:{self.name}"
+                       if self.owner_gpu is not None
+                       else f"link:{self.name}")
+            tracer.span(start, end, channel, "service",
+                        payload={"wire_bytes": wire})
 
     def utilization(self, over_seconds: float) -> float:
         """Fraction of ``over_seconds`` the link was busy."""

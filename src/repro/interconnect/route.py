@@ -119,6 +119,13 @@ class Route:
             yield last_quantum
         if self.latency > 0 and payload_bytes > 0:
             yield self.engine.timeout(self.latency)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.span(start_time, self.engine.now,
+                        f"gpu{self.src}.transfer", f"->gpu{self.dst}",
+                        payload={"bytes": payload_bytes,
+                                 "wire_bytes": total_wire,
+                                 "access_size": access_size})
         return TransferReceipt(
             src=self.src,
             dst=self.dst,
@@ -158,6 +165,14 @@ class InfiniteRoute(Route):
 
     def transfer(self, payload_bytes: int, access_size: int) -> Event:
         event = Event(self.engine)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # Zero-width span: the transfer is instantaneous but still
+            # visible (and accounted) on the source GPU's transfer lane.
+            tracer.span(self.engine.now, self.engine.now,
+                        f"gpu{self.src}.transfer", f"->gpu{self.dst}",
+                        payload={"bytes": payload_bytes, "wire_bytes": 0,
+                                 "access_size": access_size})
         event.succeed(TransferReceipt(
             src=self.src, dst=self.dst, payload_bytes=payload_bytes,
             wire_bytes=0, access_size=access_size,

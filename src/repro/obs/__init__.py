@@ -1,0 +1,57 @@
+"""Observability: structured tracing, metrics, and Chrome-trace export.
+
+Three pieces, designed to cost nothing when disabled:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters,
+  gauges, and histograms that simulator components publish into
+  (``bytes_sent{src,dst,mechanism}``, ``agent_polls``,
+  ``exposed_transfer_ms``, ...), aggregated per phase and per run.
+* :mod:`~repro.obs.capture` — the ambient observation scope that hands
+  every :class:`~repro.runtime.system.System` built inside it a tracer
+  and the shared registry.
+* :mod:`~repro.obs.chrome_trace` — serializes captured tracers to the
+  Chrome trace event format (one pid per GPU, one tid per lane), ready
+  for ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Typical use, via the experiment runner::
+
+    python -m repro --only fig9 --trace trace.json --metrics metrics.json
+
+or programmatically::
+
+    from repro import obs
+    with obs.capture() as observation:
+        fig9_overlap.run()
+    obs.write_chrome_trace("trace.json", observation.chrome_trace())
+"""
+
+from repro.obs.capture import Observation, active, capture, suppress
+from repro.obs.chrome_trace import (
+    TIME_SCALE,
+    export_chrome_trace,
+    merge_chrome_traces,
+    tracer_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    series_name,
+)
+
+__all__ = [
+    "Observation",
+    "active",
+    "capture",
+    "suppress",
+    "MetricsRegistry",
+    "HistogramSummary",
+    "NULL_METRICS",
+    "series_name",
+    "TIME_SCALE",
+    "tracer_events",
+    "export_chrome_trace",
+    "merge_chrome_traces",
+    "write_chrome_trace",
+]

@@ -1,0 +1,104 @@
+"""Ambient observation scope: one tracer per system, one shared registry.
+
+Experiments build :class:`~repro.runtime.system.System` objects deep
+inside paradigm and profiler code, so observability cannot be threaded
+as an explicit argument without touching every harness.  Instead, an
+:class:`Observation` installs itself as the *ambient* scope
+(:func:`capture`); any ``System`` constructed while it is active
+receives a fresh :class:`~repro.sim.trace.Tracer` (each system has its
+own simulation clock, so each gets its own timeline) and the shared
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+The scope is a :mod:`contextvars` variable, so worker processes and
+threads each see their own observation (or none).  :func:`suppress`
+masks the ambient scope — the profiler uses it so that configuration
+sweeps (hundreds of throwaway systems) do not flood the trace, keeping
+observed runs identical across serial and process-pool backends.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.chrome_trace import export_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
+
+
+class Observation:
+    """A capture in progress: labelled per-system tracers + metrics."""
+
+    def __init__(self, trace: bool = True, verbose: bool = False) -> None:
+        self.trace_enabled = trace
+        self.verbose = verbose
+        self.metrics = MetricsRegistry()
+        self.traces: List[Tuple[str, Tracer]] = []
+        # Off-clock lanes (e.g. the profiler's per-candidate sweep
+        # timings) that belong to the capture, not to any one system.
+        self.ambient_tracer = Tracer(enabled=trace, verbose=verbose)
+        if trace:
+            self.traces.append(("capture", self.ambient_tracer))
+
+    def new_tracer(self, label: str) -> Tracer:
+        """A fresh tracer registered under ``label`` (one per system)."""
+        if not self.trace_enabled:
+            from repro.sim.trace import NULL_TRACER
+            return NULL_TRACER
+        tracer = Tracer(enabled=True, verbose=self.verbose)
+        self.adopt_tracer(label, tracer)
+        return tracer
+
+    def adopt_tracer(self, label: str, tracer: Tracer) -> None:
+        """Register an externally created tracer into this capture."""
+        self.traces.append((f"run{len(self.traces)}:{label}", tracer))
+
+    def chrome_trace(self) -> Dict:
+        """Everything captured so far as one Chrome-trace document."""
+        return export_chrome_trace(self.traces)
+
+    def export(self) -> Dict:
+        """Picklable summary: the Chrome document plus metrics snapshot."""
+        return {
+            "trace": self.chrome_trace(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+_ACTIVE: contextvars.ContextVar[Optional[Observation]] = \
+    contextvars.ContextVar("repro_observation", default=None)
+
+
+def active() -> Optional[Observation]:
+    """The ambient observation, if a :func:`capture` scope is active."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def capture(trace: bool = True,
+            verbose: bool = False) -> Iterator[Observation]:
+    """Observe every system built inside the scope.
+
+    ::
+
+        with capture() as obs:
+            fig9_overlap.run()
+        write_chrome_trace("trace.json", obs.chrome_trace())
+    """
+    observation = Observation(trace=trace, verbose=verbose)
+    token = _ACTIVE.set(observation)
+    try:
+        yield observation
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Mask the ambient observation (systems inside are unobserved)."""
+    token = _ACTIVE.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,167 @@
+"""A labelled metrics registry: counters, gauges, and histograms.
+
+Components publish into one :class:`MetricsRegistry` —
+``metrics.inc("bytes_sent", n, src=0, dst=2, mechanism="polling")`` —
+and the registry aggregates both run-wide totals and per-phase slices
+(whatever was recorded while a :meth:`MetricsRegistry.phase` scope was
+active).  Everything is plain floats and dicts, so a snapshot is
+directly JSON-serializable and picklable across the experiment runner's
+worker processes.
+
+Like the tracer, a disabled registry (:data:`NULL_METRICS`) makes every
+operation a cheap no-op, so instrumented components cost nothing in
+ordinary simulations.
+
+Series naming follows the Prometheus convention::
+
+    bytes_sent{dst=1,mechanism=polling,src=0}
+
+with label keys sorted so the same labels always produce the same
+series key regardless of call-site keyword order.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+#: A series key: metric name plus its sorted, stringified labels.
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def series_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Render ``name{k=v,...}`` (just ``name`` when unlabelled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _key(name: str, labels: Dict[str, object]) -> SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed values (no stored samples)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms with labels and phase scoping."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[SeriesKey, float] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, HistogramSummary] = {}
+        self._phase: Optional[str] = None
+        self._phase_counters: Dict[str, Dict[SeriesKey, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` to a counter series (no-op when disabled)."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+        if self._phase is not None:
+            bucket = self._phase_counters.setdefault(self._phase, {})
+            bucket[key] = bucket.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge series to ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into a histogram series (no-op when disabled)."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        summary = self._histograms.get(key)
+        if summary is None:
+            summary = self._histograms[key] = HistogramSummary()
+        summary.observe(value)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute counters recorded inside the scope to ``name`` too."""
+        previous = self._phase
+        self._phase = name
+        try:
+            yield
+        finally:
+            self._phase = previous
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels: object) -> float:
+        """Current value of a counter series (0.0 when never touched)."""
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def get_gauge(self, name: str, **labels: object) -> float:
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def get_histogram(self, name: str, **labels: object) -> HistogramSummary:
+        return self._histograms.get(_key(name, labels), HistogramSummary())
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        return sum(value for (metric, _labels), value
+                   in self._counters.items() if metric == name)
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view: run totals plus per-phase counter slices."""
+        return {
+            "counters": {series_name(*key): value
+                         for key, value in sorted(self._counters.items())},
+            "gauges": {series_name(*key): value
+                       for key, value in sorted(self._gauges.items())},
+            "histograms": {series_name(*key): summary.as_dict()
+                           for key, summary
+                           in sorted(self._histograms.items())},
+            "phases": {
+                phase: {series_name(*key): value
+                        for key, value in sorted(bucket.items())}
+                for phase, bucket in sorted(self._phase_counters.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._phase_counters.clear()
+
+
+#: Shared disabled registry for components created without one.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -19,24 +19,50 @@ from repro.hw.gpu import Gpu
 from repro.hw.platform import PlatformSpec, platform_by_name
 from repro.interconnect.fabric import Fabric
 from repro.interconnect.link import DEFAULT_QUANTUM
+from repro.obs.capture import active as active_observation
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.runtime.device import Device
 from repro.sim.engine import Engine
+from repro.sim.trace import NULL_TRACER, Tracer
 
 
 class System:
-    """One complete simulated multi-GPU machine."""
+    """One complete simulated multi-GPU machine.
+
+    Observability: pass ``tracer``/``metrics`` explicitly, or build the
+    system inside an ambient :func:`repro.obs.capture` scope and it
+    receives a fresh tracer plus the scope's shared metrics registry
+    automatically.  Both default to shared no-ops, so an unobserved
+    simulation pays nothing.  Call :meth:`finish_observation` after the
+    run to flush derived lanes (merged link occupancy) and run totals
+    into them.
+    """
 
     def __init__(self, spec: PlatformSpec, infinite_bw: bool = False,
                  quantum: int = DEFAULT_QUANTUM,
                  num_gpus: Optional[int] = None,
-                 dma_engines: int = 1) -> None:
+                 dma_engines: int = 1,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if num_gpus is not None:
             spec = spec.with_num_gpus(num_gpus)
         if dma_engines < 1:
             raise ConfigurationError(
                 f"need >= 1 DMA engine per GPU: {dma_engines}")
         self.spec = spec
-        self.engine = Engine()
+        observation = active_observation()
+        if tracer is None:
+            tracer = (observation.new_tracer(spec.name)
+                      if observation is not None else NULL_TRACER)
+        elif observation is not None and tracer.enabled:
+            observation.adopt_tracer(spec.name, tracer)
+        if metrics is None:
+            metrics = (observation.metrics if observation is not None
+                       else NULL_METRICS)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._observation_finished = False
+        self.engine = Engine(tracer=tracer, metrics=metrics)
         self.gpus: List[Gpu] = [
             Gpu(self.engine, i, spec.gpu) for i in range(spec.num_gpus)]
         self.fabric = Fabric(self.engine, spec.interconnect, spec.num_gpus,
@@ -68,6 +94,45 @@ class System:
     def run(self, until=None):
         """Advance the simulation (see :meth:`repro.sim.Engine.run`)."""
         return self.engine.run(until)
+
+    def finish_observation(self) -> None:
+        """Flush end-of-run observability: link lanes and run totals.
+
+        Link occupancy is accumulated as intervals during the run (one
+        per service quantum) and exported here as *merged* busy spans —
+        one trace span per contiguous busy stretch — so even
+        quantum-heavy runs produce compact traces.  Idempotent; no-op
+        when neither tracing nor metrics are enabled.
+        """
+        if self._observation_finished:
+            return
+        self._observation_finished = True
+        if self.tracer.enabled:
+            for link in self.fabric.links:
+                channel = f"gpu{link.owner_gpu}.link:{link.name}" \
+                    if link.owner_gpu is not None else f"link:{link.name}"
+                for start, end in link.busy.merged():
+                    self.tracer.span(start, end, channel, "busy")
+        if self.metrics.enabled:
+            self.metrics.set_gauge("sim_runtime_s", self.now,
+                                   platform=self.spec.name)
+            self.metrics.inc("engine_events_scheduled",
+                             self.engine.events_scheduled)
+            self.metrics.inc("engine_events_fired",
+                             self.engine.events_fired)
+            for link in self.fabric.links:
+                if link.wire_bytes == 0:
+                    continue
+                self.metrics.inc("link_wire_bytes", link.wire_bytes,
+                                 link=link.name)
+                self.metrics.inc("link_goodput_bytes", link.goodput_bytes,
+                                 link=link.name)
+                self.metrics.observe("link_utilization",
+                                     link.utilization(self.now))
+            self.metrics.inc("fabric_goodput_bytes",
+                             self.fabric.total_goodput_bytes())
+            self.metrics.inc("fabric_wire_bytes",
+                             self.fabric.total_wire_bytes())
 
     def __repr__(self) -> str:
         return (f"<System {self.spec.name}: {self.num_gpus}x "

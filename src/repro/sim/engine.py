@@ -31,18 +31,37 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process
+from repro.sim.trace import NULL_TRACER, Tracer
 
 _HeapEntry = Tuple[float, int, int, Event]
 
 
 class Engine:
-    """Discrete-event simulation engine with a heap-based event queue."""
+    """Discrete-event simulation engine with a heap-based event queue.
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    The engine owns the simulation's observability hooks: an optional
+    :class:`~repro.sim.trace.Tracer` and a metrics registry, both no-ops
+    by default, that every component holding an engine reference can
+    publish into (``engine.tracer`` / ``engine.metrics``).  Scheduling
+    itself is always counted (two integer increments); per-event trace
+    records are emitted only for a *verbose* tracer, because they dwarf
+    every structural lane.
+    """
+
+    def __init__(self, start_time: float = 0.0,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Any = None) -> None:
+        if metrics is None:
+            from repro.obs.metrics import NULL_METRICS
+            metrics = NULL_METRICS
         self._now = start_time
         self._heap: List[_HeapEntry] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.events_scheduled = 0
+        self.events_fired = 0
 
     @property
     def now(self) -> float:
@@ -88,6 +107,10 @@ class Engine:
         heapq.heappush(
             self._heap, (self._now + delay, priority, self._sequence, event))
         self._sequence += 1
+        self.events_scheduled += 1
+        if self.tracer.enabled and self.tracer.verbose:
+            self.tracer.record(self._now, "engine", "schedule",
+                               payload=type(event).__name__)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -103,6 +126,10 @@ class Engine:
         if when < self._now:
             raise SimulationError("event heap corrupted: time went backwards")
         self._now = when
+        self.events_fired += 1
+        if self.tracer.enabled and self.tracer.verbose:
+            self.tracer.record(when, "engine", "fire",
+                               payload=type(event).__name__)
         callbacks = event.callbacks
         event._mark_processed()
         if callbacks:

@@ -3,6 +3,19 @@
 A :class:`Tracer` records timestamped events into named channels and can
 summarize them afterwards.  Components accept an optional tracer so that
 tracing costs nothing when disabled (the default is a shared no-op).
+
+Records come in two shapes:
+
+* **instants** — a single timestamp (``record()``), e.g. a chunk
+  becoming ready or an agent poll tick;
+* **spans** — a ``[time, end]`` interval (``span()``), e.g. a kernel
+  execution or one transfer's occupancy of a route.
+
+Channel names follow the convention ``gpu{N}.{lane}`` (``kernel``,
+``agent``, ``transfer``, ``link:*``) so exporters such as
+:mod:`repro.obs.chrome_trace` can lay records out as one process per GPU
+with one track per lane; channels without a ``gpu{N}.`` prefix (e.g.
+``phase``, ``profiler``, ``engine``) belong to the simulation as a whole.
 """
 
 from __future__ import annotations
@@ -14,44 +27,89 @@ from typing import Any, Dict, List, Optional, Tuple
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One traced occurrence."""
+    """One traced occurrence: an instant, or a span when ``end`` is set."""
 
     time: float
     channel: str
     label: str
     payload: Any = None
+    end: Optional[float] = None
+
+    @property
+    def is_span(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length (0.0 for instants and zero-width spans)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.time
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries grouped by channel."""
+    """Collects :class:`TraceRecord` entries grouped by channel.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Records are kept in insertion order *and* indexed per channel at
+    :meth:`record` time, so :meth:`channel` and :meth:`count` are O(size
+    of the answer) rather than a scan of every record ever taken.
+
+    ``verbose`` opts into very high-volume channels (per-event engine
+    scheduling, per-quantum link service); structural lanes (kernels,
+    agents, transfers) are always recorded when the tracer is enabled.
+    """
+
+    def __init__(self, enabled: bool = True, verbose: bool = False) -> None:
         self.enabled = enabled
+        self.verbose = verbose
         self._records: List[TraceRecord] = []
+        self._by_channel: Dict[str, List[TraceRecord]] = {}
 
     def record(self, time: float, channel: str, label: str,
                payload: Any = None) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append an instant record (no-op when disabled)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time, channel, label, payload))
+        self._append(TraceRecord(time, channel, label, payload))
+
+    def span(self, start: float, end: float, channel: str, label: str,
+             payload: Any = None) -> None:
+        """Append a ``[start, end]`` span record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start}..{end}")
+        self._append(TraceRecord(start, channel, label, payload, end=end))
+
+    def _append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        bucket = self._by_channel.get(record.channel)
+        if bucket is None:
+            bucket = self._by_channel[record.channel] = []
+        bucket.append(record)
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
         return tuple(self._records)
 
     def channel(self, name: str) -> List[TraceRecord]:
-        """All records from one channel, in time order."""
-        return [r for r in self._records if r.channel == name]
+        """All records from one channel, in insertion order."""
+        return list(self._by_channel.get(name, ()))
+
+    def channels(self) -> List[str]:
+        """Channel names in first-seen order."""
+        return list(self._by_channel)
 
     def count(self, channel: str, label: Optional[str] = None) -> int:
         """Number of records on a channel (optionally for one label)."""
-        return sum(
-            1 for r in self._records
-            if r.channel == channel and (label is None or r.label == label))
+        bucket = self._by_channel.get(channel, ())
+        if label is None:
+            return len(bucket)
+        return sum(1 for r in bucket if r.label == label)
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_channel.clear()
 
 
 #: Shared disabled tracer for components created without one.
@@ -63,36 +121,43 @@ class IntervalStats:
     """Accumulates (start, end) busy intervals, e.g. link occupancy.
 
     Intervals may be appended out of order; :meth:`busy_time` merges
-    overlaps so concurrent transfers are not double counted.
+    overlaps so concurrent transfers are not double counted.  The merge
+    is cached and invalidated by :meth:`add`, so repeated queries (every
+    link, every bucket of a utilization timeline) stay O(1).
     """
 
     intervals: List[Tuple[float, float]] = field(default_factory=list)
+    _merged: Optional[List[Tuple[float, float]]] = field(
+        default=None, repr=False, compare=False)
 
     def add(self, start: float, end: float) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start}..{end}")
         self.intervals.append((start, end))
+        self._merged = None
+
+    def merged(self) -> List[Tuple[float, float]]:
+        """The intervals with overlaps coalesced, in time order."""
+        if self._merged is None:
+            merged: List[Tuple[float, float]] = []
+            for start, end in sorted(self.intervals):
+                if merged and start <= merged[-1][1]:
+                    last_start, last_end = merged[-1]
+                    merged[-1] = (last_start, max(last_end, end))
+                else:
+                    merged.append((start, end))
+            self._merged = merged
+        return list(self._merged)
 
     def busy_time(self) -> float:
         """Total time covered by at least one interval."""
-        if not self.intervals:
+        return sum(end - start for start, end in self.merged())
+
+    def utilization(self, span: float) -> float:
+        """Fraction of ``span`` seconds covered by at least one interval."""
+        if span <= 0:
             return 0.0
-        merged_total = 0.0
-        current_start, current_end = None, None
-        for start, end in sorted(self.intervals):
-            if current_start is None:
-                current_start, current_end = start, end
-                continue
-            assert current_end is not None
-            if start <= current_end:
-                current_end = max(current_end, end)
-            else:
-                merged_total += current_end - current_start
-                current_start, current_end = start, end
-        if current_start is not None:
-            assert current_end is not None
-            merged_total += current_end - current_start
-        return merged_total
+        return min(1.0, self.busy_time() / span)
 
     def span(self) -> float:
         """Time from the first interval start to the last interval end."""

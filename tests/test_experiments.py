@@ -203,6 +203,33 @@ def test_timeline_empty_phase():
         PhaseResult(start=1.0, end=1.0)) == "(empty phase)"
 
 
+def test_timeline_marks_truncated_events():
+    from repro.core.runtime import GpuPhaseOutcome, PhaseResult
+    from repro.experiments.timeline import (
+        TimelineTruncationError,
+        render_phase_timeline,
+    )
+
+    result = PhaseResult(start=1.0, end=2.0, outcomes=[
+        GpuPhaseOutcome(gpu_id=0, kernel_start=1.0, kernel_end=1.5,
+                        transfers_end=2.5),  # drains past the window
+        GpuPhaseOutcome(gpu_id=1, kernel_start=1.0, kernel_end=1.8,
+                        transfers_end=1.8),
+    ])
+    rendered = render_phase_timeline(result, width=20)
+    lines = rendered.splitlines()
+    assert "truncated" in lines[0]       # header calls it out
+    assert lines[1].endswith("|!")       # the clipped strip is marked
+    assert not lines[2].endswith("!")    # in-window strips are not
+    with pytest.raises(TimelineTruncationError):
+        render_phase_timeline(result, width=20, strict=True)
+
+    clean = PhaseResult(start=1.0, end=2.0, outcomes=[
+        GpuPhaseOutcome(gpu_id=0, kernel_start=1.0, kernel_end=1.5,
+                        transfers_end=2.0)])
+    assert "truncated" not in render_phase_timeline(clean, strict=True)
+
+
 def test_sensitivity_small():
     from repro.experiments import sensitivity
     result = sensitivity.run(

@@ -1,0 +1,293 @@
+"""Tests for the observability stack: metrics, capture, Chrome export.
+
+Covers the unit layer (registry semantics, exporter golden output) and
+the integration contract the tracing exists for: a traced phase's
+``gpu{N}.kernel``/``gpu{N}.transfer`` lanes reconstruct exactly the
+``exposed_transfer_time`` the :class:`~repro.core.runtime.PhaseResult`
+reports, and observation never changes an experiment's tables.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    capture,
+    export_chrome_trace,
+    merge_chrome_traces,
+    series_name,
+    suppress,
+    tracer_events,
+    write_chrome_trace,
+)
+from repro.obs.capture import active
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+def test_series_name_sorts_labels():
+    assert series_name("x", ()) == "x"
+    registry = MetricsRegistry()
+    registry.inc("bytes_sent", 10, src=0, dst=1)
+    registry.inc("bytes_sent", 5, dst=1, src=0)  # kwarg order irrelevant
+    assert registry.get("bytes_sent", src=0, dst=1) == 15
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"bytes_sent{dst=1,src=0}": 15.0}
+
+
+def test_registry_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.inc("polls")
+    registry.inc("polls", 2)
+    registry.set_gauge("runtime_s", 1.5, platform="4x_volta")
+    registry.set_gauge("runtime_s", 2.5, platform="4x_volta")  # overwrite
+    registry.observe("kernel_ms", 1.0)
+    registry.observe("kernel_ms", 3.0)
+    assert registry.get("polls") == 3
+    assert registry.get_gauge("runtime_s", platform="4x_volta") == 2.5
+    histogram = registry.get_histogram("kernel_ms")
+    assert histogram.count == 2
+    assert histogram.mean == pytest.approx(2.0)
+    assert histogram.as_dict()["min"] == 1.0
+    assert histogram.as_dict()["max"] == 3.0
+    assert registry.get_histogram("never").as_dict()["count"] == 0.0
+
+
+def test_registry_total_sums_across_labels():
+    registry = MetricsRegistry()
+    registry.inc("bytes_sent", 10, dst=1)
+    registry.inc("bytes_sent", 20, dst=2)
+    assert registry.total("bytes_sent") == 30
+    assert registry.total("missing") == 0
+
+
+def test_registry_phase_scoping():
+    registry = MetricsRegistry()
+    registry.inc("chunks", 1)
+    with registry.phase("phase0"):
+        registry.inc("chunks", 2)
+        with registry.phase("phase1"):  # nesting replaces, then restores
+            registry.inc("chunks", 4)
+        registry.inc("chunks", 8)
+    registry.inc("chunks", 16)
+    snapshot = registry.snapshot()
+    assert registry.get("chunks") == 31  # run total sees everything
+    assert snapshot["phases"]["phase0"] == {"chunks": 10.0}
+    assert snapshot["phases"]["phase1"] == {"chunks": 4.0}
+
+
+def test_registry_snapshot_is_json_serializable():
+    registry = MetricsRegistry()
+    registry.inc("bytes_sent", 7, src=0, mechanism="polling")
+    registry.observe("lat_ms", 0.5, src=0)
+    round_trip = json.loads(json.dumps(registry.snapshot()))
+    assert round_trip["counters"]["bytes_sent{mechanism=polling,src=0}"] == 7
+
+
+def test_null_metrics_is_noop():
+    assert not NULL_METRICS.enabled
+    NULL_METRICS.inc("x", 5)
+    NULL_METRICS.set_gauge("g", 1.0)
+    NULL_METRICS.observe("h", 1.0)
+    assert NULL_METRICS.get("x") == 0.0
+    assert NULL_METRICS.snapshot()["counters"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace exporter
+# ---------------------------------------------------------------------------
+
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.span(0.001, 0.003, "gpu0.kernel", "produce",
+                payload={"region_bytes": 1024})
+    tracer.record(0.002, "gpu1.agent", "poll")
+    tracer.span(0.0, 0.004, "phase", "phase0")
+    return tracer
+
+
+def test_chrome_trace_golden_document(tmp_path):
+    document = export_chrome_trace([("run0", _sample_tracer())])
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, document)
+    parsed = json.loads(path.read_text())  # valid JSON end to end
+    events = parsed["traceEvents"]
+    assert parsed["displayTimeUnit"] == "ms"
+    for event in events:
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+
+    kernel = next(e for e in events if e["name"] == "produce")
+    assert kernel["ph"] == "X"
+    assert kernel["pid"] == 1          # gpu0 → pid offset 1
+    assert kernel["tid"] == "kernel"
+    assert kernel["ts"] == pytest.approx(1000.0)   # 1 ms in µs
+    assert kernel["dur"] == pytest.approx(2000.0)
+    assert kernel["args"]["region_bytes"] == 1024
+
+    poll = next(e for e in events if e["name"] == "poll")
+    assert poll["ph"] == "i"
+    assert poll["pid"] == 2            # gpu1 → pid offset 2
+    assert poll["tid"] == "agent"
+
+    phase = next(e for e in events if e["name"] == "phase0")
+    assert phase["pid"] == 0           # non-gpu channel → sim process
+
+    names = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert names == {0: "run0 sim", 1: "run0 gpu0", 2: "run0 gpu1"}
+
+
+def test_chrome_trace_multiple_tracers_get_disjoint_pids():
+    document = export_chrome_trace(
+        [("a", _sample_tracer()), ("b", _sample_tracer())])
+    # The first tracer occupies pids 0..2; the second is rebased past it.
+    all_pids = {e["pid"] for e in document["traceEvents"]}
+    assert all_pids == {0, 1, 2, 3, 4, 5}
+    names = {e["args"]["name"] for e in document["traceEvents"]
+             if e["ph"] == "M"}
+    assert "b gpu0" in names and "a gpu0" in names
+
+
+def test_merge_chrome_traces_rebases_pids():
+    one = export_chrome_trace([("x", _sample_tracer())])
+    two = export_chrome_trace([("y", _sample_tracer())])
+    merged = merge_chrome_traces([one, two])
+    assert {e["pid"] for e in merged["traceEvents"]} == {0, 1, 2, 3, 4, 5}
+    # Source documents are not mutated by the merge.
+    assert {e["pid"] for e in one["traceEvents"]} == {0, 1, 2}
+    assert {e["pid"] for e in two["traceEvents"]} == {0, 1, 2}
+
+
+def test_tracer_events_empty_tracer():
+    assert tracer_events(Tracer()) == []
+
+
+# ---------------------------------------------------------------------------
+# Ambient capture scope
+# ---------------------------------------------------------------------------
+
+def test_capture_scope_hands_systems_tracers():
+    from repro.runtime import System
+
+    assert active() is None
+    with capture() as observation:
+        assert active() is observation
+        system = System.from_name("4x_volta")
+        assert system.tracer.enabled
+        assert system.metrics is observation.metrics
+        with suppress():
+            assert active() is None
+            hidden = System.from_name("4x_volta")
+            assert hidden.tracer is NULL_TRACER
+        assert active() is observation
+    assert active() is None
+    # One registered run tracer (plus the ambient capture lane).
+    labels = [label for label, _tracer in observation.traces]
+    assert labels[0] == "capture"
+    assert any("4x_volta" in label for label in labels[1:])
+
+
+def test_unobserved_system_costs_nothing():
+    from repro.runtime import System
+
+    system = System.from_name("4x_volta")
+    assert system.tracer is NULL_TRACER
+    assert not system.metrics.enabled
+    system.finish_observation()  # must be a silent no-op
+    assert system.tracer.records == ()
+
+
+# ---------------------------------------------------------------------------
+# Integration: traces agree with the phase executor's bookkeeping
+# ---------------------------------------------------------------------------
+
+def _traced_phase(mechanism=None, chunk_size=None):
+    from repro.core import (
+        GpuPhaseWork,
+        MECH_POLLING,
+        ProactConfig,
+        ProactPhaseExecutor,
+    )
+    from repro.hw import PLATFORM_4X_VOLTA
+    from repro.runtime import KernelSpec, System
+    from repro.units import MiB
+
+    system = System(PLATFORM_4X_VOLTA, tracer=Tracer(),
+                    metrics=MetricsRegistry())
+    gpu = system.gpus[0]
+    works = []
+    for gpu_id in range(system.num_gpus):
+        kernel = KernelSpec("produce" if gpu_id == 0 else "other",
+                            gpu.spec.flops * 2e-3, 0, 8192)
+        works.append(GpuPhaseWork(
+            kernel=kernel,
+            region_bytes=32 * MiB if gpu_id == 0 else 0))
+    config = ProactConfig(mechanism or MECH_POLLING,
+                          chunk_size or 1 * MiB, 2048)
+    executor = ProactPhaseExecutor(system, config)
+    result = system.run(until=executor.execute(works))
+    system.finish_observation()
+    return system, result
+
+
+def test_trace_reconstructs_exposed_transfer_time():
+    from repro.experiments.timeline import trace_exposed_transfer_time
+
+    system, result = _traced_phase()
+    assert trace_exposed_transfer_time(system.tracer) == pytest.approx(
+        result.exposed_transfer_time, abs=1e-12)
+    # A tail-heavy configuration must agree too (nonzero exposure).
+    from repro.units import MiB
+    system2, result2 = _traced_phase(chunk_size=32 * MiB)
+    assert result2.exposed_transfer_time > 0
+    assert trace_exposed_transfer_time(system2.tracer) == pytest.approx(
+        result2.exposed_transfer_time, abs=1e-12)
+
+
+def test_traced_phase_populates_expected_lanes_and_metrics():
+    system, result = _traced_phase()
+    channels = set(system.tracer.channels())
+    assert "gpu0.kernel" in channels
+    assert "gpu0.transfer" in channels
+    assert "phase" in channels
+    assert any(c.startswith("gpu0.link:") for c in channels)
+    assert system.tracer.count("gpu0.agent", label="chunk-ready") == 32
+
+    metrics = system.metrics
+    from repro.units import MiB
+    assert metrics.total("bytes_sent") == 3 * 32 * MiB
+    assert metrics.total("chunks_ready") == 32
+    assert metrics.get("phases", mechanism="polling") == 1
+    assert metrics.snapshot()["phases"]  # phase-scoped slice exists
+    for gpu_id in range(system.num_gpus):
+        assert metrics.get_histogram("kernel_ms", gpu=gpu_id).count == 1
+
+
+def test_render_trace_timeline_smoke():
+    from repro.experiments.timeline import render_trace_timeline
+
+    system, _result = _traced_phase()
+    rendered = render_trace_timeline(system.tracer, width=40)
+    lines = rendered.splitlines()
+    assert len(lines) == 1 + system.num_gpus
+    assert "#" in lines[1]          # gpu0 ran a kernel
+    assert all(line.startswith("gpu") for line in lines[1:])
+    assert render_trace_timeline(Tracer()) == "(no gpu lanes traced)"
+
+
+def test_observation_does_not_change_experiment_tables():
+    from repro.experiments.registry import ExperimentContext, run_experiment
+
+    plain = run_experiment("fig1", ExperimentContext(quick=True))
+    observed = run_experiment("fig1", ExperimentContext(quick=True,
+                                                        observe=True))
+    assert observed.tables == plain.tables       # byte-identical
+    assert observed.scalars == plain.scalars
+    assert plain.trace is None and plain.metrics is None
+    assert observed.trace is not None
+    assert any(e["ph"] == "X" for e in observed.trace["traceEvents"])
+    assert observed.metrics["counters"]  # something was counted

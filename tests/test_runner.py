@@ -140,6 +140,61 @@ def test_run_all_writes_results_json(tmp_path):
         assert entry["scalars"] == result.scalars
 
 
+def test_run_all_observability_outputs(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    json_path = tmp_path / "results.json"
+    buffer = io.StringIO()
+    results = runner.run_all(quick=True, only=["fig1"], out=buffer,
+                             json_path=str(json_path),
+                             trace_path=str(trace_path),
+                             metrics_path=str(metrics_path))
+
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert events, "observed run must produce trace events"
+    assert all({"ph", "ts", "pid"} <= set(e) for e in events)
+    assert any(e["ph"] == "X" and e["tid"] == "kernel" for e in events)
+
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["suite"] == "repro-experiments"
+    assert "fig1" in metrics["experiments"]
+    assert metrics["experiments"]["fig1"]["counters"]
+
+    # Captured metrics also ride along in the results.json schema.
+    payload = json.loads(json_path.read_text())
+    assert payload["experiments"][0]["metrics"]["counters"]
+    assert results[0].trace is not None
+
+
+def test_run_all_observability_matches_unobserved_output(tmp_path):
+    plain_buf, observed_buf = io.StringIO(), io.StringIO()
+    runner.run_all(quick=True, only=FAST, out=plain_buf)
+    runner.run_all(quick=True, only=FAST, out=observed_buf,
+                   trace_path=str(tmp_path / "trace.json"))
+
+    def tables_only(text):
+        return [line for line in text.splitlines()
+                if not line.startswith("[")]
+
+    assert tables_only(plain_buf.getvalue()) == tables_only(
+        observed_buf.getvalue())
+
+
+def test_run_all_parallel_observability(tmp_path):
+    # Trace/metrics documents must survive the trip through worker
+    # processes and merge into valid files.
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    runner.run_all(quick=True, only=FAST + ["fig1"], out=io.StringIO(),
+                   jobs=3, trace_path=str(trace_path),
+                   metrics_path=str(metrics_path))
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    metrics = json.loads(metrics_path.read_text())
+    assert set(metrics["experiments"]) == set(FAST + ["fig1"])
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -159,6 +214,17 @@ def test_cli_only_and_json(tmp_path, capsys):
     assert "Table I" in out
     payload = json.loads(path.read_text())
     assert [e["name"] for e in payload["experiments"]] == ["table1"]
+
+
+def test_cli_trace_and_metrics_flags(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert runner.main(["--quick", "--only", "fig1",
+                        "--trace", str(trace_path),
+                        "--metrics", str(metrics_path)]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    assert "fig1" in json.loads(metrics_path.read_text())["experiments"]
 
 
 def test_cli_rejects_bad_arguments():

@@ -38,6 +38,52 @@ def test_tracer_clear():
     tracer.record(0.0, "a", "b")
     tracer.clear()
     assert tracer.records == ()
+    assert tracer.channel("a") == []
+    assert tracer.channels() == []
+
+
+def test_tracer_spans():
+    tracer = Tracer()
+    tracer.span(1.0, 3.0, "gpu0.kernel", "k")
+    tracer.span(4.0, 4.0, "gpu0.kernel", "zero-width")
+    tracer.record(2.0, "gpu0.agent", "poll")
+    spans = tracer.channel("gpu0.kernel")
+    assert [r.is_span for r in spans] == [True, True]
+    assert spans[0].duration == pytest.approx(2.0)
+    assert spans[1].duration == 0.0
+    assert not tracer.channel("gpu0.agent")[0].is_span
+    assert tracer.channel("gpu0.agent")[0].duration == 0.0
+
+
+def test_tracer_span_rejects_reversed():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.span(2.0, 1.0, "c", "bad")
+
+
+def test_tracer_disabled_span_is_noop():
+    tracer = Tracer(enabled=False)
+    tracer.span(0.0, 1.0, "c", "x")
+    # Disabled tracers must not even validate, to stay zero-cost.
+    tracer.span(2.0, 1.0, "c", "reversed-but-ignored")
+    assert tracer.records == ()
+    assert tracer.channels() == []
+
+
+def test_tracer_channel_index_preserves_order():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.record(float(i), "a" if i % 2 == 0 else "b", f"e{i}")
+    assert tracer.channels() == ["a", "b"]
+    assert [r.label for r in tracer.channel("a")] == ["e0", "e2", "e4"]
+    assert [r.label for r in tracer.channel("b")] == ["e1", "e3"]
+    assert tracer.count("a") == 3
+    assert tracer.count("b", label="e3") == 1
+    # channel() is index-backed: the per-channel bucket holds exactly the
+    # records appended to it, in insertion order, without scanning the
+    # global record list.
+    assert tracer.channel("a") == [r for r in tracer.records
+                                   if r.channel == "a"]
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +123,37 @@ def test_interval_stats_adjacent_intervals():
     stats.add(0.0, 1.0)
     stats.add(1.0, 2.0)  # touching, not overlapping
     assert stats.busy_time() == pytest.approx(2.0)
+
+
+def test_interval_stats_zero_width():
+    stats = IntervalStats()
+    stats.add(1.0, 1.0)
+    assert stats.busy_time() == 0.0
+    assert stats.merged() == [(1.0, 1.0)]
+
+
+def test_interval_stats_merge_cache_invalidated_on_add():
+    stats = IntervalStats()
+    stats.add(0.0, 1.0)
+    first = stats.merged()
+    assert first == [(0.0, 1.0)]
+    # The cache must not leak: mutating the returned list leaves the
+    # stats untouched, and a later add() recomputes the merge.
+    first.append((99.0, 100.0))
+    assert stats.merged() == [(0.0, 1.0)]
+    stats.add(0.5, 2.0)
+    assert stats.merged() == [(0.0, 2.0)]
+    assert stats.busy_time() == pytest.approx(2.0)
+
+
+def test_interval_stats_utilization():
+    stats = IntervalStats()
+    stats.add(0.0, 1.0)
+    stats.add(0.5, 2.0)   # overlap must not double count
+    assert stats.utilization(4.0) == pytest.approx(0.5)
+    assert stats.utilization(1.0) == 1.0   # clamped
+    assert stats.utilization(0.0) == 0.0
+    assert IntervalStats().utilization(5.0) == 0.0
 
 
 # ---------------------------------------------------------------------------
