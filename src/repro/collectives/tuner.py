@@ -1,0 +1,316 @@
+"""Autotuned collective algorithm selection, PROACT-profiler style.
+
+The paper's compile-time profiler brute-forces PROACT's configuration
+space per (application, platform) and bakes in the winner.
+:class:`CollectiveTuner` is the same idea for collectives: sweep
+(algorithm x chunk size) per platform and payload bucket by *running*
+each candidate on the simulated fabric, pick the fastest with a
+deterministic tie-break, and remember the choice in a JSON-backed
+:class:`CollectivePlanStore` keyed by the sweep's signature — the exact
+scheme :class:`~repro.core.cache.ProfileStore` uses, so sweeps over
+different grids never collide and serial/parallel sweeps share hits.
+
+Sweeps execute through the profiler's
+:class:`~repro.core.profiler.ExecutorBackend` seam, so
+``CollectiveTuner(platform, backend=ProcessPoolBackend(4))`` fans the
+grid over worker processes yet returns byte-identical measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.collectives.algorithms import supported_algorithms
+from repro.collectives.executor import run_collective
+from repro.collectives.schedule import ALL_COLLECTIVES, COLL_ALL_REDUCE
+from repro.core.config import PROFILE_CHUNK_SIZES
+from repro.core.profiler import ExecutorBackend, SerialBackend
+from repro.errors import CollectiveError
+from repro.hw.platform import PlatformSpec
+from repro.obs.capture import active as active_observation
+from repro.obs.capture import suppress as suppress_observation
+from repro.units import KiB, MiB
+
+#: Payload buckets the tuner plans for, with a representative size each
+#: (a real launch looks its payload's bucket up in the plan).
+PAYLOAD_BUCKETS: Tuple[Tuple[str, int], ...] = (
+    ("small", 64 * KiB),
+    ("medium", 4 * MiB),
+    ("large", 64 * MiB),
+)
+
+#: Bucket upper bounds, in ``PAYLOAD_BUCKETS`` order (last is open-ended).
+_BUCKET_LIMITS: Tuple[int, ...] = (256 * KiB, 16 * MiB)
+
+
+def payload_bucket(nbytes: int) -> str:
+    """The plan bucket an arbitrary payload size falls into."""
+    if nbytes < 0:
+        raise CollectiveError(f"negative payload: {nbytes}")
+    for (name, _), limit in zip(PAYLOAD_BUCKETS, _BUCKET_LIMITS):
+        if nbytes <= limit:
+            return name
+    return PAYLOAD_BUCKETS[-1][0]
+
+
+@dataclass(frozen=True)
+class CollectiveChoice:
+    """One tuned pick: which algorithm, at which chunk granularity."""
+
+    algorithm: str
+    chunk_size: int
+
+
+@dataclass(frozen=True)
+class CollectiveMeasurement:
+    """One swept candidate and its simulated runtime."""
+
+    algorithm: str
+    chunk_size: int
+    runtime: float
+
+    @property
+    def choice(self) -> CollectiveChoice:
+        return CollectiveChoice(self.algorithm, self.chunk_size)
+
+
+def _measurement_order(entry: CollectiveMeasurement
+                       ) -> Tuple[float, int, str]:
+    """Total order for winners: runtime, then smallest chunk, then name.
+
+    Mirrors the profiler's tie-breaking so the pick never depends on
+    the order candidates were measured in (serial vs. process pool).
+    """
+    return (entry.runtime, entry.chunk_size, entry.algorithm)
+
+
+@dataclass
+class CollectiveTuneResult:
+    """Outcome of one (platform, collective, payload) sweep."""
+
+    collective: str
+    nbytes: int
+    entries: List[CollectiveMeasurement]
+
+    @property
+    def best(self) -> CollectiveMeasurement:
+        if not self.entries:
+            raise CollectiveError("tuner sweep produced no entries")
+        return min(self.entries, key=_measurement_order)
+
+    @property
+    def best_choice(self) -> CollectiveChoice:
+        return self.best.choice
+
+    def best_for_algorithm(self, algorithm: str) -> CollectiveMeasurement:
+        candidates = [entry for entry in self.entries
+                      if entry.algorithm == algorithm]
+        if not candidates:
+            raise CollectiveError(f"no entries for algorithm {algorithm!r}")
+        return min(candidates, key=_measurement_order)
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.algorithm not in seen:
+                seen.append(entry.algorithm)
+        return seen
+
+
+#: One sweep task: everything a worker needs to measure one candidate.
+_TuneTask = Tuple[PlatformSpec, str, int, str, int]
+
+
+def measure_candidate(task: _TuneTask) -> CollectiveMeasurement:
+    """Measure one (algorithm, chunk size) candidate (picklable)."""
+    platform, collective, nbytes, algorithm, chunk_size = task
+    result = run_collective(platform, collective, algorithm, nbytes,
+                            chunk_size)
+    return CollectiveMeasurement(algorithm=algorithm, chunk_size=chunk_size,
+                                 runtime=result.duration)
+
+
+class CollectiveTuner:
+    """(algorithm x chunk size) search for one platform and collective."""
+
+    def __init__(self, platform: PlatformSpec,
+                 collective: str = COLL_ALL_REDUCE,
+                 algorithms: Optional[Sequence[str]] = None,
+                 chunk_sizes: Sequence[int] = PROFILE_CHUNK_SIZES,
+                 backend: Optional[ExecutorBackend] = None) -> None:
+        if collective not in ALL_COLLECTIVES:
+            raise CollectiveError(
+                f"unknown collective {collective!r}; "
+                f"expected {ALL_COLLECTIVES}")
+        supported = supported_algorithms(collective, platform.num_gpus)
+        if algorithms is None:
+            algorithms = supported
+        else:
+            unsupported = [a for a in algorithms if a not in supported]
+            if unsupported:
+                raise CollectiveError(
+                    f"algorithms {unsupported} unsupported for "
+                    f"{collective} on {platform.num_gpus} GPUs")
+        if not algorithms or not chunk_sizes:
+            raise CollectiveError("tuner needs non-empty sweep ranges")
+        self.platform = platform
+        self.collective = collective
+        self.algorithms = tuple(algorithms)
+        self.chunk_sizes = tuple(sorted(chunk_sizes))
+        self.backend = backend or SerialBackend()
+
+    def sweep_signature(self) -> str:
+        """Canonical identifier of this sweep's search space.
+
+        Same contract as :meth:`Profiler.sweep_signature`: two tuners
+        with equal signatures explore the same grid and pick the same
+        winner, so the signature keys the plan store.  The backend is
+        deliberately excluded — parallel and serial sweeps share hits.
+        """
+        algorithms = ",".join(self.algorithms)
+        chunks = ",".join(str(size) for size in self.chunk_sizes)
+        return (f"collective={self.collective}|algos={algorithms}"
+                f"|chunks={chunks}")
+
+    def tune(self, nbytes: int) -> CollectiveTuneResult:
+        """Sweep the grid for one payload size."""
+        tasks: List[_TuneTask] = [
+            (self.platform, self.collective, nbytes, algorithm, chunk_size)
+            for algorithm in self.algorithms
+            for chunk_size in self.chunk_sizes]
+        # Candidate runs build throwaway systems; keep them out of the
+        # ambient trace so observed runs look identical across backends
+        # (workers never see the parent's scope).
+        with suppress_observation():
+            entries = self.backend.run_tasks(measure_candidate, tasks)
+        result = CollectiveTuneResult(collective=self.collective,
+                                      nbytes=nbytes, entries=entries)
+        self._observe(nbytes, entries)
+        return result
+
+    def tune_buckets(self,
+                     buckets: Sequence[Tuple[str, int]] = PAYLOAD_BUCKETS,
+                     ) -> Dict[str, CollectiveTuneResult]:
+        """Sweep every payload bucket; returns results keyed by bucket."""
+        return {name: self.tune(nbytes) for name, nbytes in buckets}
+
+    def _observe(self, nbytes: int,
+                 entries: Sequence[CollectiveMeasurement]) -> None:
+        observation = active_observation()
+        if observation is None:
+            return
+        for order, entry in enumerate(entries):
+            observation.ambient_tracer.record(
+                float(order), "collective-tuner",
+                f"{self.collective}:{entry.algorithm}@{entry.chunk_size}",
+                payload={"runtime_s": entry.runtime, "nbytes": nbytes,
+                         "platform": self.platform.name})
+            observation.metrics.observe(
+                "collective_candidate_runtime_ms", entry.runtime * 1e3,
+                platform=self.platform.name, collective=self.collective,
+                algorithm=entry.algorithm)
+            observation.metrics.inc(
+                "collective_candidates", platform=self.platform.name,
+                collective=self.collective, algorithm=entry.algorithm)
+
+
+# ---------------------------------------------------------------------------
+# Plan store
+# ---------------------------------------------------------------------------
+
+#: ``(platform, collective, bucket, sweep signature)``.
+_PlanKey = Tuple[str, str, str, str]
+
+_KEY_SEPARATOR = "::"
+
+
+def _choice_to_dict(choice: CollectiveChoice) -> Dict:
+    return {"algorithm": choice.algorithm, "chunk_size": choice.chunk_size}
+
+
+def _choice_from_dict(data: Dict) -> CollectiveChoice:
+    try:
+        return CollectiveChoice(algorithm=str(data["algorithm"]),
+                                chunk_size=int(data["chunk_size"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CollectiveError(f"corrupt plan entry: {data!r}") from exc
+
+
+class CollectivePlanStore:
+    """JSON-backed cache of tuned collective choices.
+
+    The compile-time analogue of :class:`~repro.core.cache.ProfileStore`
+    with the same key scheme: entries are namespaced by the tuner's
+    sweep signature so sweeps over different grids never collide, and a
+    parallel sweep shares hits with its serial twin.
+    """
+
+    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None,
+                 ) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self._entries: Dict[_PlanKey, CollectiveChoice] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, platform_name: str, collective: str, bucket: str,
+            signature: str = "") -> Optional[CollectiveChoice]:
+        return self._entries.get(
+            (platform_name, collective, bucket, signature))
+
+    def put(self, platform_name: str, collective: str, bucket: str,
+            choice: CollectiveChoice, signature: str = "") -> None:
+        self._entries[(platform_name, collective, bucket, signature)] = choice
+        if self.path is not None:
+            self._save()
+
+    def get_or_tune(self, tuner: CollectiveTuner,
+                    nbytes: int) -> CollectiveChoice:
+        """The cached choice for this payload's bucket, tuning on a miss."""
+        bucket = payload_bucket(nbytes)
+        signature = tuner.sweep_signature()
+        cached = self.get(tuner.platform.name, tuner.collective, bucket,
+                          signature)
+        if cached is not None:
+            return cached
+        choice = tuner.tune(nbytes).best_choice
+        self.put(tuner.platform.name, tuner.collective, bucket, choice,
+                 signature)
+        return choice
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _save(self) -> None:
+        assert self.path is not None
+        payload = {}
+        for key, choice in sorted(self._entries.items()):
+            payload[_KEY_SEPARATOR.join(part for part in key if part)] = \
+                _choice_to_dict(choice)
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def _load(self) -> None:
+        assert self.path is not None
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CollectiveError(
+                f"plan store {self.path} is not valid JSON") from exc
+        if not isinstance(payload, dict):
+            raise CollectiveError(
+                f"plan store {self.path} has an unexpected layout")
+        for key, data in payload.items():
+            parts = key.split(_KEY_SEPARATOR, 3)
+            if len(parts) < 3:
+                raise CollectiveError(
+                    f"plan store key {key!r} is not "
+                    "'platform::collective::bucket[::signature]'")
+            platform, collective, bucket = parts[0], parts[1], parts[2]
+            signature = parts[3] if len(parts) == 4 else ""
+            self._entries[(platform, collective, bucket, signature)] = \
+                _choice_from_dict(data)

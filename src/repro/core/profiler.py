@@ -41,8 +41,9 @@ reproducible across search modes, backends, and entry orderings.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import (
     ALL_MECHANISMS,
@@ -144,36 +145,48 @@ def measure_config(platform: PlatformSpec, config: ProactConfig,
 # ---------------------------------------------------------------------------
 
 class ExecutorBackend:
-    """Strategy for measuring one wave of independent configurations.
+    """Strategy for measuring one wave of independent tasks.
 
-    ``measure_wave`` must return entries in the same order as ``configs``;
-    the profiler relies on positional correspondence when it splits a
-    wave's results back out per mechanism.
+    ``run_tasks`` is the generic seam: apply a picklable pure function
+    to a sequence of independent tasks and return the results in task
+    order.  The profiler's ``measure_wave`` rides it, and so does the
+    collective tuner's (algorithm x chunk size) sweep
+    (:mod:`repro.collectives.tuner`) — any embarrassingly parallel
+    measurement loop gets serial and process-pool execution for free.
+
+    ``measure_wave`` must return entries in the same order as
+    ``configs``; the profiler relies on positional correspondence when
+    it splits a wave's results back out per mechanism.
     """
+
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> List[Any]:
+        raise NotImplementedError
 
     def measure_wave(self, platform: PlatformSpec,
                      configs: Sequence[ProactConfig],
                      phase_builder: PhaseBuilder) -> List[ProfileEntry]:
-        raise NotImplementedError
+        return self.run_tasks(
+            functools.partial(measure_config, platform,
+                              phase_builder=phase_builder),
+            configs)
 
 
 class SerialBackend(ExecutorBackend):
-    """Measure a wave in-process, one configuration at a time."""
+    """Measure a wave in-process, one task at a time."""
 
-    def measure_wave(self, platform: PlatformSpec,
-                     configs: Sequence[ProactConfig],
-                     phase_builder: PhaseBuilder) -> List[ProfileEntry]:
-        return [measure_config(platform, config, phase_builder)
-                for config in configs]
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> List[Any]:
+        return [fn(task) for task in tasks]
 
 
 class ProcessPoolBackend(ExecutorBackend):
     """Fan a wave out over a process pool.
 
-    Each simulation is an independent pure function of
-    ``(platform, config, phase_builder)``, so worker results are
-    byte-identical to a serial run; only wall-clock time changes.  All
-    three arguments must be picklable (platform specs, configs, and the
+    Each simulation is an independent pure function of its task, so
+    worker results are byte-identical to a serial run; only wall-clock
+    time changes.  Both the function and every task must be picklable
+    (platform specs, configs, collective tuning candidates, and the
     workloads' bound ``build_phases`` methods all are).
     """
 
@@ -182,20 +195,16 @@ class ProcessPoolBackend(ExecutorBackend):
             raise ProactError(f"need >= 1 job: {jobs}")
         self.jobs = jobs
 
-    def measure_wave(self, platform: PlatformSpec,
-                     configs: Sequence[ProactConfig],
-                     phase_builder: PhaseBuilder) -> List[ProfileEntry]:
-        if not configs:
+    def run_tasks(self, fn: Callable[[Any], Any],
+                  tasks: Sequence[Any]) -> List[Any]:
+        if not tasks:
             return []
-        workers = min(self.jobs, len(configs))
+        workers = min(self.jobs, len(tasks))
         if workers == 1:
-            return SerialBackend().measure_wave(
-                platform, configs, phase_builder)
+            return SerialBackend().run_tasks(fn, tasks)
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers) as pool:
-            futures = [pool.submit(measure_config, platform, config,
-                                   phase_builder)
-                       for config in configs]
+            futures = [pool.submit(fn, task) for task in tasks]
             return [future.result() for future in futures]
 
 

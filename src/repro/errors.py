@@ -38,3 +38,7 @@ class ProactError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload construction or partitioning."""
+
+
+class CollectiveError(ReproError):
+    """Raised for invalid collective schedules or algorithm selection."""

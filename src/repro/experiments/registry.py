@@ -66,6 +66,9 @@ class ExperimentResult:
     trace: Optional[Dict] = None
     #: Metrics snapshot captured when the context asked to observe.
     metrics: Optional[Dict] = None
+    #: Set when the experiment raised instead of producing tables; the
+    #: runner reports it and exits non-zero.
+    error: Optional[str] = None
 
     @classmethod
     def build(cls, name: str, label: str, tables: Sequence[TextTable],
@@ -95,7 +98,16 @@ class ExperimentResult:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.error is not None:
+            payload["error"] = self.error
         return payload
+
+    @classmethod
+    def failed(cls, name: str, label: str,
+               error: BaseException) -> "ExperimentResult":
+        """A placeholder result for an experiment that raised."""
+        return cls(name=name, label=label, tables=[], rows=0,
+                   error=f"{type(error).__name__}: {error}")
 
 
 @dataclass(frozen=True)
@@ -139,6 +151,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
                    "repro.experiments.utilization"),
     ExperimentSpec("sensitivity", "Sensitivity",
                    "repro.experiments.sensitivity"),
+    ExperimentSpec("collectives", "Collectives",
+                   "repro.experiments.collectives"),
 )
 
 _BY_NAME: Dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}
@@ -174,13 +188,16 @@ def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     """
     spec = get_spec(name)
     started = time.perf_counter()
-    if ctx.observe:
-        from repro.obs import capture
-        with capture() as observation:
+    try:
+        if ctx.observe:
+            from repro.obs import capture
+            with capture() as observation:
+                result = spec.run(ctx)
+            result.trace = observation.chrome_trace()
+            result.metrics = observation.metrics.snapshot()
+        else:
             result = spec.run(ctx)
-        result.trace = observation.chrome_trace()
-        result.metrics = observation.metrics.snapshot()
-    else:
-        result = spec.run(ctx)
+    except Exception as exc:  # noqa: BLE001 - suite must outlive one failure
+        result = ExperimentResult.failed(name, spec.label, exc)
     result.elapsed = time.perf_counter() - started
     return result

@@ -23,6 +23,10 @@ experiments and writes one merged Chrome-trace JSON (open it at
 https://ui.perfetto.dev); ``--metrics`` writes the aggregated metrics
 registry snapshots.  Either flag turns observation on; captured metrics
 are also merged into the ``--json`` results schema.
+
+The process exits non-zero when any experiment raised or produced an
+empty results table (see :func:`suite_failures`); the failure is also
+recorded in the ``--json`` summary under the experiment's ``error`` key.
 """
 
 from __future__ import annotations
@@ -48,9 +52,29 @@ def _emit(stream: TextIO, result: ExperimentResult) -> None:
     for block in result.tables:
         print(block, file=stream)
         print("", file=stream)
-    print(f"[{result.label} completed in {result.elapsed:.1f}s]",
-          file=stream)
+    if result.error is not None:
+        print(f"[{result.label} FAILED after {result.elapsed:.1f}s: "
+              f"{result.error}]", file=stream)
+    else:
+        print(f"[{result.label} completed in {result.elapsed:.1f}s]",
+              file=stream)
     print("", file=stream)
+
+
+def suite_failures(results: Sequence[ExperimentResult]) -> List[str]:
+    """Everything that makes the run a failure: raises and empty tables.
+
+    An experiment that produced zero data rows is as broken as one that
+    raised — its assertions never saw any results — so both fail the
+    suite and flip the process exit status.
+    """
+    failures = []
+    for result in results:
+        if result.error is not None:
+            failures.append(f"{result.name}: {result.error}")
+        elif result.rows == 0:
+            failures.append(f"{result.name}: produced no table rows")
+    return failures
 
 
 def _run_serial(names: Sequence[str], ctx: ExperimentContext,
@@ -198,9 +222,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    run_all(quick=args.quick, jobs=args.jobs, only=args.only,
-            json_path=args.json, trace_path=args.trace,
-            metrics_path=args.metrics)
+    results = run_all(quick=args.quick, jobs=args.jobs, only=args.only,
+                      json_path=args.json, trace_path=args.trace,
+                      metrics_path=args.metrics)
+    failures = suite_failures(results)
+    if failures:
+        for failure in failures:
+            print(f"FAILED {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.interconnect.link import DEFAULT_QUANTUM, Link
-from repro.interconnect.route import Route, route_between
+from repro.interconnect.route import Route, TransferReceipt, route_between
 from repro.interconnect.specs import (
     TOPOLOGY_ALL_TO_ALL,
     TOPOLOGY_CUBE_MESH,
@@ -176,8 +176,33 @@ class Fabric:
             ) from None
 
     def send(self, src: int, dst: int, nbytes: int, access_size: int) -> Event:
-        """Start a transfer; returns its completion event."""
+        """Start a transfer; returns its completion event.
+
+        A send from a GPU to itself is a validated zero-cost local copy
+        (no link is crossed, nothing is accounted) — degenerate
+        schedules such as a ring collective on a 1-GPU system hit this
+        path, and must not depend on what a route lookup happens to do.
+        """
+        if src == dst:
+            return self._local_copy(src, nbytes, access_size)
         return self.route(src, dst).transfer(nbytes, access_size)
+
+    def _local_copy(self, gpu: int, nbytes: int, access_size: int) -> Event:
+        """An immediately-complete self-transfer with full validation."""
+        if not 0 <= gpu < self.num_gpus:
+            raise ConfigurationError(
+                f"GPU {gpu} out of range 0..{self.num_gpus - 1}")
+        if nbytes < 0:
+            raise ConfigurationError(f"negative payload: {nbytes}")
+        if access_size < 1:
+            raise ConfigurationError(
+                f"access size must be >= 1: {access_size}")
+        event = Event(self.engine)
+        event.succeed(TransferReceipt(
+            src=gpu, dst=gpu, payload_bytes=nbytes, wire_bytes=0,
+            access_size=access_size, start_time=self.engine.now,
+            end_time=self.engine.now))
+        return event
 
     def peak_p2p_bandwidth(self, src: int, dst: int) -> float:
         """Raw wire bandwidth of the bottleneck link between two GPUs."""

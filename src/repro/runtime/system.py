@@ -95,6 +95,35 @@ class System:
         """Advance the simulation (see :meth:`repro.sim.Engine.run`)."""
         return self.engine.run(until)
 
+    def collective(self, collective: str, nbytes: int,
+                   algorithm: str = "ring",
+                   chunk_size: Optional[int] = None,
+                   root: int = 0,
+                   access_size: Optional[int] = None):
+        """Launch a collective over the fabric; returns its process.
+
+        The schedule is compiled by
+        :func:`repro.collectives.build_schedule` and executed as
+        simulated processes on this system's links, so contention and
+        per-packet efficiency are modelled.  ``chunk_size`` defaults to
+        the PROACT default granularity
+        (:data:`repro.core.config.DEFAULT_CONFIG`).  The returned
+        process yields a
+        :class:`~repro.collectives.executor.CollectiveResult`::
+
+            proc = system.collective("all_reduce", 16 * MiB)
+            result = system.run(until=proc)
+        """
+        from repro.collectives.algorithms import build_schedule
+        from repro.collectives.executor import CollectiveExecutor
+        if chunk_size is None:
+            from repro.core.config import DEFAULT_CONFIG
+            chunk_size = DEFAULT_CONFIG.chunk_size
+        schedule = build_schedule(collective, algorithm, self.num_gpus,
+                                  nbytes, chunk_size, root=root)
+        executor = CollectiveExecutor(self, access_size=access_size)
+        return executor.launch(schedule)
+
     def finish_observation(self) -> None:
         """Flush end-of-run observability: link lanes and run totals.
 

@@ -9,6 +9,12 @@ from repro.workloads.base import (
     partition_range,
     strip_final_phase_regions,
 )
+from repro.workloads.dataparallel import (
+    DataParallelTraining,
+    TrainingRunResult,
+    TrainingStep,
+    run_training,
+)
 from repro.workloads.datasets import (
     CsrGraph,
     banded_matrix,
@@ -54,6 +60,10 @@ __all__ = [
     "strip_final_phase_regions",
     "ReplicatedArray",
     "MicroBenchmark",
+    "DataParallelTraining",
+    "TrainingRunResult",
+    "TrainingStep",
+    "run_training",
     "memcpy_duplication_time",
     "DEFAULT_DATA_BYTES",
     "BYTES_PER_CTA",

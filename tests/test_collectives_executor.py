@@ -1,0 +1,202 @@
+"""Executor tests: collectives running on the simulated fabric.
+
+Covers the acceptance properties:
+
+* every GPU ends an all-reduce holding the identical fully-reduced
+  payload (contributor accounting over the executed schedule);
+* ring all-reduce sources exactly ``2 (N-1)/N * nbytes`` per GPU;
+* chunked ring beats the unchunked direct bulk exchange on at least one
+  platform, while tree beats ring at small payloads on at least one.
+"""
+
+import pytest
+
+from repro.collectives import (
+    ALGO_DIRECT,
+    ALGO_RING,
+    ALGO_TREE,
+    ALL_COLLECTIVES,
+    COLL_ALL_REDUCE,
+    CollectiveExecutor,
+    build_schedule,
+    run_collective,
+    supported_algorithms,
+    verify_schedule,
+)
+from repro.errors import CollectiveError, ConfigurationError
+from repro.hw.platform import PLATFORMS
+from repro.interconnect.route import TransferReceipt
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.system import System
+from repro.sim.trace import Tracer
+from repro.units import KiB, MiB
+
+TABLE_I = ("4x_kepler", "4x_pascal", "4x_volta", "16x_volta")
+
+
+# ---------------------------------------------------------------------------
+# Every collective x algorithm runs on every Table I platform
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("platform_name", TABLE_I)
+def test_all_collectives_run_on_every_platform(platform_name):
+    platform = PLATFORMS[platform_name]
+    for collective in ALL_COLLECTIVES:
+        for algorithm in supported_algorithms(collective,
+                                              platform.num_gpus):
+            result = run_collective(platform, collective, algorithm,
+                                    1 * MiB, 256 * KiB)
+            assert result.duration > 0
+            assert result.bus_bandwidth > 0
+            assert result.op_count > 0
+            assert result.collective == collective
+            assert result.algorithm == algorithm
+            assert result.num_gpus == platform.num_gpus
+
+
+def test_all_reduce_accounting_is_identical_everywhere():
+    # Property (a): after all-reduce, every GPU's every chunk carries
+    # contributions from every GPU — the same fully-reduced value.
+    for algorithm in (ALGO_DIRECT, ALGO_RING, ALGO_TREE):
+        schedule = build_schedule(COLL_ALL_REDUCE, algorithm, 4,
+                                  1 * MiB + 13, 128 * KiB)
+        buffers = verify_schedule(schedule)
+        everyone = frozenset(range(4))
+        reference = buffers[0]
+        for gpu in range(4):
+            assert buffers[gpu] == reference
+            assert all(payload == everyone
+                       for payload in buffers[gpu].values())
+        # And the executed run agrees with the schedule's accounting.
+        result = run_collective(PLATFORMS["4x_volta"], COLL_ALL_REDUCE,
+                                algorithm, 1 * MiB + 13, 128 * KiB)
+        assert result.sent_bytes == tuple(
+            schedule.sent_bytes(gpu) for gpu in range(4))
+
+
+def test_ring_all_reduce_wire_bytes_are_bandwidth_optimal():
+    # Property (b): each GPU sources exactly 2 (N-1)/N of the payload.
+    for platform_name, num_gpus in (("4x_volta", 4), ("16x_volta", 16)):
+        nbytes = 8 * MiB
+        result = run_collective(PLATFORMS[platform_name], COLL_ALL_REDUCE,
+                                ALGO_RING, nbytes, 256 * KiB)
+        expected = 2 * (num_gpus - 1) * nbytes // num_gpus
+        assert result.sent_bytes == (expected,) * num_gpus
+
+
+def test_chunked_ring_beats_direct_bulk_and_tree_beats_ring_small():
+    # Property (c), bandwidth side: on the PCIe tree the direct exchange
+    # crams N*(N-1) bulk messages through shared root links; the chunked
+    # ring pipelines disjoint link pairs.
+    kepler = PLATFORMS["4x_kepler"]
+    nbytes = 16 * MiB
+    ring = run_collective(kepler, COLL_ALL_REDUCE, ALGO_RING, nbytes,
+                          256 * KiB)
+    bulk = run_collective(kepler, COLL_ALL_REDUCE, ALGO_DIRECT, nbytes,
+                          chunk_size=nbytes)
+    assert ring.duration < bulk.duration
+
+    # Latency side: at small payloads the 16-GPU ring pays 2(N-1) = 30
+    # serial hops; the tree finishes in 2 log2(N) = 8 rounds.
+    volta16 = PLATFORMS["16x_volta"]
+    small = 64 * KiB
+    ring_small = run_collective(volta16, COLL_ALL_REDUCE, ALGO_RING,
+                                small, 16 * KiB)
+    tree_small = run_collective(volta16, COLL_ALL_REDUCE, ALGO_TREE,
+                                small, 16 * KiB)
+    assert tree_small.duration < ring_small.duration
+
+
+def test_chunking_overlaps_ring_hops():
+    # Pipelining: on a multi-hop bandwidth-bound broadcast, fine chunks
+    # must beat one bulk message per hop (store-and-forward).
+    kepler = PLATFORMS["4x_kepler"]
+    nbytes = 16 * MiB
+    chunked = run_collective(kepler, "broadcast", ALGO_RING, nbytes,
+                             256 * KiB)
+    bulk = run_collective(kepler, "broadcast", ALGO_RING, nbytes,
+                          chunk_size=nbytes)
+    assert chunked.duration < bulk.duration
+
+
+# ---------------------------------------------------------------------------
+# System entry point, loopback, misuse
+# ---------------------------------------------------------------------------
+
+def test_system_collective_entry_point():
+    system = System.from_name("4x_volta")
+    proc = system.collective("all_reduce", 4 * MiB, algorithm="ring",
+                             chunk_size=256 * KiB)
+    result = system.run(until=proc)
+    assert result.collective == "all_reduce"
+    assert result.duration > 0
+    # Default chunk size comes from the PROACT config knob.
+    from repro.core.config import DEFAULT_CONFIG
+    proc = system.collective("broadcast", 1 * MiB)
+    assert system.run(until=proc).chunk_size == DEFAULT_CONFIG.chunk_size
+
+
+def test_fabric_send_to_self_is_zero_cost():
+    system = System.from_name("4x_volta")
+    event = system.fabric.send(2, 2, 1 * MiB, access_size=256)
+    receipt = system.run(until=event)
+    assert isinstance(receipt, TransferReceipt)
+    assert receipt.src == receipt.dst == 2
+    assert receipt.wire_bytes == 0
+    assert receipt.payload_bytes == 1 * MiB
+    assert receipt.end_time == receipt.start_time == 0.0
+    assert system.now == 0.0
+
+
+def test_fabric_send_to_self_still_validates():
+    system = System.from_name("4x_volta")
+    with pytest.raises(ConfigurationError):
+        system.fabric.send(7, 7, 1 * MiB, access_size=256)
+    with pytest.raises(ConfigurationError):
+        system.fabric.send(1, 1, -1, access_size=256)
+    with pytest.raises(ConfigurationError):
+        system.fabric.send(1, 1, 1 * MiB, access_size=0)
+    # route() keeps rejecting self-routes: only send() has the loopback.
+    with pytest.raises(ConfigurationError):
+        system.fabric.route(1, 1)
+
+
+def test_single_gpu_collective_completes_instantly():
+    system = System(PLATFORMS["4x_volta"], num_gpus=1)
+    proc = system.collective("all_reduce", 16 * MiB)
+    result = system.run(until=proc)
+    assert result.duration == 0.0
+
+
+def test_executor_rejects_mismatched_gpu_count():
+    system = System.from_name("4x_volta")
+    schedule = build_schedule(COLL_ALL_REDUCE, ALGO_RING, 8, 1 * MiB,
+                              256 * KiB)
+    with pytest.raises(CollectiveError):
+        CollectiveExecutor(system).launch(schedule)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+def test_collective_steps_are_traced_into_gpu_lanes():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    system = System(PLATFORMS["4x_volta"], tracer=tracer, metrics=metrics)
+    proc = system.collective("all_reduce", 1 * MiB, algorithm="ring",
+                             chunk_size=256 * KiB)
+    system.run(until=proc)
+
+    channels = {record.channel for record in tracer.records}
+    for gpu in range(4):
+        assert f"gpu{gpu}.coll" in channels
+    assert "collective" in channels
+    spans = [record for record in tracer.records
+             if record.channel == "collective"]
+    assert spans and spans[0].label == "all_reduce:ring"
+
+    snapshot = metrics.snapshot()
+    assert any("collective_runtime_ms" in key
+               for key in snapshot["histograms"])
+    assert any("collective_bytes" in key for key in snapshot["counters"])

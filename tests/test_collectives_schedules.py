@@ -1,0 +1,198 @@
+"""Schedule-level tests: builders, dependencies, symbolic verification."""
+
+import pytest
+
+from repro.collectives import (
+    ALGO_DIRECT,
+    ALGO_RING,
+    ALGO_TREE,
+    ALL_ALGORITHMS,
+    ALL_COLLECTIVES,
+    COLL_ALL_GATHER,
+    COLL_ALL_REDUCE,
+    COLL_BROADCAST,
+    COLL_REDUCE_SCATTER,
+    build_schedule,
+    replay_payloads,
+    supported_algorithms,
+    verify_schedule,
+)
+from repro.collectives.schedule import (
+    MODE_COPY,
+    MODE_REDUCE,
+    ScheduleBuilder,
+    TransferOp,
+)
+from repro.errors import CollectiveError
+from repro.units import KiB, MiB
+
+GPU_COUNTS = (1, 2, 4, 5, 8, 16)
+PAYLOADS = (0, 3, 256 * KiB, 1 * MiB + 7)
+
+
+# ---------------------------------------------------------------------------
+# Every (collective, algorithm, GPU count, payload) satisfies its
+# postcondition under symbolic replay.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("collective", ALL_COLLECTIVES)
+@pytest.mark.parametrize("num_gpus", GPU_COUNTS)
+def test_every_schedule_verifies(collective, num_gpus):
+    for algorithm in supported_algorithms(collective, num_gpus):
+        for nbytes in PAYLOADS:
+            schedule = build_schedule(collective, algorithm, num_gpus,
+                                      nbytes, 64 * KiB)
+            verify_schedule(schedule)
+
+
+def test_supported_algorithms_gates_tree_on_power_of_two():
+    # Tree broadcast (binomial) works at any size; the halving/doubling
+    # trees need a power-of-two GPU count.
+    assert ALGO_TREE in supported_algorithms(COLL_BROADCAST, 5)
+    for collective in (COLL_ALL_GATHER, COLL_REDUCE_SCATTER,
+                       COLL_ALL_REDUCE):
+        assert ALGO_TREE not in supported_algorithms(collective, 5)
+        assert ALGO_TREE in supported_algorithms(collective, 8)
+    for collective in ALL_COLLECTIVES:
+        algos = supported_algorithms(collective, 4)
+        assert algos[0] == ALGO_DIRECT
+        assert set(algos) == set(ALL_ALGORITHMS)
+
+
+def test_build_schedule_rejects_bad_inputs():
+    with pytest.raises(CollectiveError):
+        build_schedule("reduce", ALGO_RING, 4, 1 * MiB, 64 * KiB)
+    with pytest.raises(CollectiveError):
+        build_schedule(COLL_ALL_REDUCE, "double-binary-tree", 4, 1 * MiB,
+                       64 * KiB)
+    with pytest.raises(CollectiveError):
+        build_schedule(COLL_ALL_REDUCE, ALGO_TREE, 6, 1 * MiB, 64 * KiB)
+    with pytest.raises(CollectiveError):
+        build_schedule(COLL_BROADCAST, ALGO_RING, 4, 1 * MiB, 64 * KiB,
+                       root=4)
+    with pytest.raises(CollectiveError):
+        build_schedule(COLL_BROADCAST, ALGO_RING, 4, -1, 64 * KiB)
+    with pytest.raises(CollectiveError):
+        build_schedule(COLL_BROADCAST, ALGO_RING, 4, 1 * MiB, 0)
+
+
+# ---------------------------------------------------------------------------
+# Structure: chunking, dependencies, byte accounting
+# ---------------------------------------------------------------------------
+
+def test_chunking_splits_shards_at_proact_granularity():
+    schedule = build_schedule(COLL_ALL_GATHER, ALGO_RING, 4, 4 * MiB,
+                              256 * KiB)
+    # Each 1 MiB shard splits into four 256 KiB chunks.
+    assert all(op.nbytes == 256 * KiB for op in schedule.ops)
+    chunks = {(op.shard, op.chunk) for op in schedule.ops}
+    assert chunks == {(shard, chunk)
+                      for shard in range(4) for chunk in range(4)}
+
+
+def test_deps_reference_earlier_ops_only():
+    for collective in ALL_COLLECTIVES:
+        for algorithm in supported_algorithms(collective, 8):
+            schedule = build_schedule(collective, algorithm, 8, 1 * MiB,
+                                      64 * KiB)
+            for op in schedule.ops:
+                assert all(dep < op.index for dep in op.deps)
+
+
+def test_ring_chunks_pipeline_independently():
+    # Chunk k+1 of a ring step must not depend on chunk k: independent
+    # chunk streams are what lets a chunk ride the upstream link while
+    # its predecessor crosses the downstream hop.
+    schedule = build_schedule(COLL_BROADCAST, ALGO_RING, 4, 1 * MiB,
+                              128 * KiB)
+    first_hop = [op for op in schedule.ops if op.src == 0]
+    assert len(first_hop) == 8  # 1 MiB / 128 KiB
+    assert all(op.deps == () for op in first_hop)
+
+
+def test_ring_all_reduce_moves_exactly_2_n_minus_1_over_n_bytes():
+    for num_gpus in (2, 4, 8, 16):
+        nbytes = num_gpus * 64 * KiB
+        schedule = build_schedule(COLL_ALL_REDUCE, ALGO_RING, num_gpus,
+                                  nbytes, 16 * KiB)
+        expected = 2 * (num_gpus - 1) * nbytes // num_gpus
+        for gpu in range(num_gpus):
+            assert schedule.sent_bytes(gpu) == expected
+        assert schedule.total_bytes() == expected * num_gpus
+        assert schedule.num_steps() == 2 * (num_gpus - 1)
+
+
+def test_single_gpu_schedules_are_trivial():
+    for collective in ALL_COLLECTIVES:
+        for algorithm in supported_algorithms(collective, 1):
+            schedule = build_schedule(collective, algorithm, 1, 1 * MiB,
+                                      64 * KiB)
+            assert all(op.src == op.dst == 0 for op in schedule.ops)
+            verify_schedule(schedule)
+
+
+def test_broadcast_respects_root():
+    for algorithm in (ALGO_DIRECT, ALGO_RING, ALGO_TREE):
+        schedule = build_schedule(COLL_BROADCAST, algorithm, 4, 256 * KiB,
+                                  64 * KiB, root=2)
+        buffers = verify_schedule(schedule)
+        for gpu in range(4):
+            for payload in buffers[gpu].values():
+                assert payload == frozenset((2,))
+
+
+# ---------------------------------------------------------------------------
+# Op and replay validation
+# ---------------------------------------------------------------------------
+
+def test_transfer_op_validation():
+    with pytest.raises(CollectiveError):
+        TransferOp(index=0, step=0, src=0, dst=1, nbytes=-1, shard=0,
+                   chunk=0, mode=MODE_COPY)
+    with pytest.raises(CollectiveError):
+        TransferOp(index=0, step=0, src=0, dst=1, nbytes=1, shard=0,
+                   chunk=0, mode="xor")
+    with pytest.raises(CollectiveError):
+        TransferOp(index=1, step=0, src=0, dst=1, nbytes=1, shard=0,
+                   chunk=0, mode=MODE_COPY, deps=(1,))
+
+
+def test_replay_rejects_sends_of_data_never_held():
+    builder = ScheduleBuilder(COLL_BROADCAST, "bogus", 4, 256 * KiB,
+                              64 * KiB)
+    # GPU 1 forwards root data it was never sent.
+    builder.send(0, 1, 2, 0, 0, 64 * KiB, MODE_COPY)
+    with pytest.raises(CollectiveError, match="never received"):
+        replay_payloads(builder.build())
+
+
+def test_replay_rejects_reduce_into_missing_buffer():
+    builder = ScheduleBuilder(COLL_BROADCAST, "bogus", 4, 256 * KiB,
+                              64 * KiB)
+    builder.send(0, 0, 1, 0, 0, 64 * KiB, MODE_REDUCE)
+    with pytest.raises(CollectiveError, match="does not hold"):
+        replay_payloads(builder.build())
+
+
+def test_verify_catches_incomplete_broadcast():
+    builder = ScheduleBuilder(COLL_BROADCAST, "bogus", 4, 256 * KiB,
+                              256 * KiB)
+    builder.send(0, 0, 1, 0, 0, 256 * KiB, MODE_COPY)  # GPUs 2, 3 starve
+    with pytest.raises(CollectiveError, match="missing chunk"):
+        verify_schedule(builder.build())
+
+
+def test_zero_byte_collectives_still_verify():
+    for collective in ALL_COLLECTIVES:
+        for algorithm in supported_algorithms(collective, 4):
+            schedule = build_schedule(collective, algorithm, 4, 0, 64 * KiB)
+            verify_schedule(schedule)
+            assert schedule.total_bytes() == 0
+
+
+def test_tiny_payload_smaller_than_gpu_count_verifies():
+    # nbytes < N leaves trailing shards empty; accounting must still flow.
+    for algorithm in (ALGO_DIRECT, ALGO_RING, ALGO_TREE):
+        schedule = build_schedule(COLL_ALL_REDUCE, algorithm, 8, 3,
+                                  64 * KiB)
+        verify_schedule(schedule)

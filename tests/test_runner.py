@@ -29,9 +29,9 @@ FAST = ["table1", "fig2"]
 def test_registry_covers_every_experiment_module():
     names = experiment_names()
     assert names[0] == "table1"  # canonical serial order preserved
-    assert len(names) == len(set(names)) == len(REGISTRY) == 13
+    assert len(names) == len(set(names)) == len(REGISTRY) == 14
     for expected in ("fig1", "fig7", "table2", "ablations", "sensitivity",
-                     "utilization"):
+                     "utilization", "collectives"):
         assert expected in names
 
 
@@ -234,3 +234,66 @@ def test_cli_rejects_bad_arguments():
         runner.main(["--jobs", "0", "--only", "table1"])
     with pytest.raises(SystemExit):
         runner.main(["--quick", "--full"])
+
+
+# ---------------------------------------------------------------------------
+# Failure handling and exit status
+# ---------------------------------------------------------------------------
+
+def test_run_experiment_captures_raising_experiment(monkeypatch):
+    import sys
+    import types
+
+    module = types.ModuleType("repro.experiments._boom")
+
+    def experiment(ctx):
+        raise RuntimeError("boom")
+
+    module.experiment = experiment
+    monkeypatch.setitem(sys.modules, "repro.experiments._boom", module)
+    from repro.experiments import registry
+    from repro.experiments.registry import ExperimentSpec
+    monkeypatch.setitem(registry._BY_NAME, "boom",
+                        ExperimentSpec("boom", "Boom",
+                                       "repro.experiments._boom"))
+    result = run_experiment("boom", ExperimentContext(quick=True))
+    assert result.error == "RuntimeError: boom"
+    assert result.rows == 0 and result.tables == []
+    assert result.elapsed > 0
+    assert result.to_dict()["error"] == "RuntimeError: boom"
+
+
+def test_suite_failures_flags_errors_and_empty_tables():
+    ok = ExperimentResult(name="a", label="A", tables=["t"], rows=1)
+    failed = ExperimentResult.failed("b", "B", ValueError("nope"))
+    empty = ExperimentResult(name="c", label="C", tables=[], rows=0)
+    assert runner.suite_failures([ok]) == []
+    assert runner.suite_failures([ok, failed, empty]) == [
+        "b: ValueError: nope", "c: produced no table rows"]
+
+
+def test_run_all_reports_failed_experiment(monkeypatch):
+    def fake_run(name, ctx):
+        if name == "fig2":
+            return ExperimentResult.failed(
+                name, "Figure 2", RuntimeError("exploded"))
+        return run_experiment(name, ctx)
+
+    monkeypatch.setattr(runner, "run_experiment", fake_run)
+    buffer = io.StringIO()
+    results = runner.run_all(quick=True, only=FAST, out=buffer)
+    assert "[Figure 2 FAILED after" in buffer.getvalue()
+    assert runner.suite_failures(results) == [
+        "fig2: RuntimeError: exploded"]
+
+
+def test_cli_exit_status_reflects_failures(monkeypatch, capsys):
+    ok = ExperimentResult(name="a", label="A", tables=["t"], rows=1)
+    failed = ExperimentResult.failed("b", "B", ValueError("nope"))
+
+    monkeypatch.setattr(runner, "run_all", lambda **kwargs: [ok, failed])
+    assert runner.main(["--only", "table1"]) == 1
+    assert "FAILED b: ValueError: nope" in capsys.readouterr().err
+
+    monkeypatch.setattr(runner, "run_all", lambda **kwargs: [ok])
+    assert runner.main(["--only", "table1"]) == 0
