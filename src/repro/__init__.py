@@ -33,10 +33,12 @@ from repro.errors import (
     ProactError,
     ReproError,
     SimulationError,
+    ValidationError,
     WorkloadError,
 )
 from repro.hw import PLATFORMS, PlatformSpec, platform_by_name
 from repro.runtime import KernelSpec, System
+from repro.validate import validation
 
 __version__ = "1.0.0"
 
@@ -59,6 +61,8 @@ __all__ = [
     "SimulationError",
     "ConfigurationError",
     "ProactError",
+    "ValidationError",
     "WorkloadError",
+    "validation",
     "__version__",
 ]

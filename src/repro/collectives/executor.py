@@ -98,6 +98,12 @@ class CollectiveExecutor:
             raise CollectiveError(
                 f"schedule built for {schedule.num_gpus} GPUs cannot run "
                 f"on a {self.system.num_gpus}-GPU system")
+        if self.system.validating:
+            # Under --validate every executed schedule is first replayed
+            # symbolically: verify_schedule raises if any GPU would end
+            # the collective without its full contributor set.
+            from repro.collectives.schedule import verify_schedule
+            verify_schedule(schedule)
         return self.system.engine.process(
             self._drive(schedule),
             name=f"coll:{schedule.collective}:{schedule.algorithm}")
@@ -176,6 +182,7 @@ def run_collective(platform: "PlatformSpec", collective: str, algorithm: str,
     proc = CollectiveExecutor(system).launch(schedule)
     system.run(until=proc)
     system.finish_observation()
+    system.finish_validation()
     return proc.value
 
 

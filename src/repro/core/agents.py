@@ -95,8 +95,14 @@ class DecoupledAgent:
     # ------------------------------------------------------------------
     # Chunk intake (called from readiness milestones)
     # ------------------------------------------------------------------
-    def chunk_ready(self, nbytes: int) -> None:
-        """Hand the agent a ready chunk for broadcast to all destinations."""
+    def chunk_ready(self, nbytes: int, chunk: Optional[int] = None) -> None:
+        """Hand the agent a ready chunk for broadcast to all destinations.
+
+        ``chunk`` is the chunk's index within its region; the executor
+        always provides it so the sanitizer can follow the chunk through
+        its transfer lifecycle.  Callers outside the milestone protocol
+        (e.g. unit tests feeding an agent directly) may omit it.
+        """
         if self._closed:
             raise ProactError("chunk_ready() after close()")
         if nbytes < 1:
@@ -110,7 +116,7 @@ class DecoupledAgent:
         if engine.metrics.enabled:
             engine.metrics.inc("chunks_ready", src=self.src_id,
                                mechanism=self.config.mechanism)
-        self._dispatch(nbytes)
+        self._dispatch(nbytes, chunk)
         self.stats.chunks_sent += 1
 
     def close(self) -> Event:
@@ -125,7 +131,7 @@ class DecoupledAgent:
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
-    def _dispatch(self, nbytes: int) -> None:
+    def _dispatch(self, nbytes: int, chunk: Optional[int] = None) -> None:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -141,10 +147,14 @@ class DecoupledAgent:
                 and not self._drained.triggered):
             self._drained.succeed()
 
-    def _send_chunk(self, nbytes: int):
+    def _send_chunk(self, nbytes: int, chunk: Optional[int] = None):
         """Generator: send one chunk's per-peer share to every destination."""
         per_dest_bytes = max(1, round(nbytes * self.peer_fraction))
-        metrics = self.system.engine.metrics
+        engine = self.system.engine
+        metrics = engine.metrics
+        sanitize = engine.sanitizer.enabled and chunk is not None
+        if sanitize:
+            engine.sanitizer.transfer_started(self.src_id, chunk, engine.now)
         sends = []
         for dst in self.destinations:
             self.stats.sends_issued += 1
@@ -155,9 +165,27 @@ class DecoupledAgent:
                 metrics.inc("bytes_sent", per_dest_bytes,
                             src=self.src_id, dst=dst,
                             mechanism=self.config.mechanism)
+            if sanitize:
+                engine.sanitizer.bytes_injected_for(
+                    self.src_id, chunk, dst, per_dest_bytes, engine.now)
             if self.elide_transfers:
+                # Elision skips the wire time, not the protocol: the
+                # bytes count as landed the moment they are issued.
+                if sanitize:
+                    engine.sanitizer.bytes_delivered_to(
+                        self.src_id, chunk, dst, per_dest_bytes, engine.now)
+                    engine.sanitizer.readable_signalled(
+                        self.src_id, chunk, dst, engine.now)
                 continue
             sends.append(
                 self._routes[dst].transfer(per_dest_bytes, AGENT_ACCESS_SIZE))
         if sends:
-            yield self.system.engine.all_of(sends)
+            yield engine.all_of(sends)
+            if sanitize:
+                # All destination transfers completed; the chunk's ready
+                # flags on the consumers may be raised only now.
+                for dst in self.destinations:
+                    engine.sanitizer.bytes_delivered_to(
+                        self.src_id, chunk, dst, per_dest_bytes, engine.now)
+                    engine.sanitizer.readable_signalled(
+                        self.src_id, chunk, dst, engine.now)

@@ -30,13 +30,13 @@ class CdpAgent(DecoupledAgent):
                          elide_transfers, peer_fraction)
         self._device = system.devices[src_id]
 
-    def _dispatch(self, nbytes: int) -> None:
+    def _dispatch(self, nbytes: int, chunk=None) -> None:
         self._begin_send()
         self.system.engine.process(
-            self._launch_and_copy(nbytes),
+            self._launch_and_copy(nbytes, chunk),
             name=f"cdp-send:gpu{self.src_id}")
 
-    def _launch_and_copy(self, nbytes: int):
+    def _launch_and_copy(self, nbytes: int, chunk=None):
         engine = self.system.engine
         device = self._device
         # Dynamic kernel launches funnel through the host driver one at a
@@ -62,7 +62,7 @@ class CdpAgent(DecoupledAgent):
             f"gpu{self.src_id}.cdp-copy", work=float("inf"),
             demand=max(demand, 1e-6))
         try:
-            yield from self._send_chunk(nbytes)
+            yield from self._send_chunk(nbytes, chunk)
         finally:
             gpu.compute.stop(copy_task)
         self._end_send()

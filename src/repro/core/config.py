@@ -48,6 +48,12 @@ class ProactConfig:
     chunk_size: int
     transfer_threads: int
     poll_period: float = DEFAULT_POLL_PERIOD
+    #: Run the phase executor under the readiness sanitizer and the
+    #: conservation checker (:mod:`repro.validate`) even outside an
+    #: ambient validation scope.  Checking only observes — it never
+    #: changes timing — but costs bookkeeping per chunk event, so it is
+    #: off by default.
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if self.mechanism not in ALL_MECHANISMS_WITH_HW:

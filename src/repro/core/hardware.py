@@ -54,17 +54,18 @@ class HardwareAgent(DecoupledAgent):
             mechanism=config.mechanism,
             chunk_size=config.chunk_size,
             transfer_threads=_engine_equivalent_threads(system, src_id),
-            poll_period=config.poll_period)
+            poll_period=config.poll_period,
+            validate=config.validate)
         super().__init__(system, src_id, engine_config, destinations,
                          elide_transfers, peer_fraction)
 
-    def _dispatch(self, nbytes: int) -> None:
+    def _dispatch(self, nbytes: int, chunk=None) -> None:
         self._begin_send()
         self.system.engine.process(
-            self._engine_transfer(nbytes),
+            self._engine_transfer(nbytes, chunk),
             name=f"hw-send:gpu{self.src_id}")
 
-    def _engine_transfer(self, nbytes: int):
+    def _engine_transfer(self, nbytes: int, chunk=None):
         engine = self.system.engine
         yield engine.timeout(HW_DESCRIPTOR_LATENCY)
         if engine.tracer.enabled:
@@ -73,7 +74,7 @@ class HardwareAgent(DecoupledAgent):
                 payload={"bytes": nbytes})
         if engine.metrics.enabled:
             engine.metrics.inc("hw_descriptors", src=self.src_id)
-        yield from self._send_chunk(nbytes)
+        yield from self._send_chunk(nbytes, chunk)
         self._end_send()
 
 

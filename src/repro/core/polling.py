@@ -79,15 +79,15 @@ class PollingAgent(DecoupledAgent):
     # ------------------------------------------------------------------
     # Chunk dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, nbytes: int) -> None:
+    def _dispatch(self, nbytes: int, chunk=None) -> None:
         if self._resident_task is None:
             raise ProactError("chunk_ready() before the agent started")
         self._begin_send()
         self.system.engine.process(
-            self._poll_then_send(nbytes),
+            self._poll_then_send(nbytes, chunk),
             name=f"poll-send:gpu{self.src_id}")
 
-    def _poll_then_send(self, nbytes: int):
+    def _poll_then_send(self, nbytes: int, chunk=None):
         engine = self.system.engine
         # The chunk waits for the next bitmap scan tick.
         period = self.config.poll_period
@@ -110,5 +110,5 @@ class PollingAgent(DecoupledAgent):
             yield engine.timeout(CHUNK_DISPATCH_OVERHEAD)
         finally:
             self._dispatcher.release()
-        yield from self._send_chunk(nbytes)
+        yield from self._send_chunk(nbytes, chunk)
         self._end_send()

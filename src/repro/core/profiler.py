@@ -126,6 +126,7 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
     done = system.engine.process(driver(), name="app")
     system.run(until=done)
     system.finish_observation()
+    system.finish_validation()
     return system.now
 
 

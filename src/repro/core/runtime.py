@@ -141,6 +141,8 @@ class ProactPhaseExecutor:
         self.elide_transfers = elide_transfers
         self.instrument = instrument
         self._phase_index = 0
+        if config.validate and not system.engine.sanitizer.enabled:
+            system.attach_validation()
 
     def execute(self, works: Sequence[GpuPhaseWork]):
         """Run one phase; returns the completion process (PhaseResult)."""
@@ -171,8 +173,27 @@ class ProactPhaseExecutor:
                     name=f"phase-gpu{gpu_id}"))
             yield engine.all_of(per_gpu)
         result.end = engine.now
+        if engine.sanitizer.enabled:
+            # The phase barrier is the consumers' read point: audit that
+            # every ready chunk's bytes landed everywhere they must, then
+            # audit the links' byte accounting.
+            engine.sanitizer.phase_end(
+                engine.now, self._expected_destinations(works))
+            checker = getattr(self.system, "checker", None)
+            if checker is not None:
+                checker.check(engine.now)
         self._observe_phase(phase_name, result)
         return result
+
+    def _expected_destinations(self, works: Sequence[GpuPhaseWork]):
+        """Destinations every producer's chunks must reach by the barrier."""
+        expected = {}
+        for gpu_id, work in enumerate(works):
+            destinations = self._destinations(gpu_id)
+            if (work.region_bytes > 0 and destinations
+                    and self.config.mechanism != MECH_INLINE):
+                expected[gpu_id] = tuple(destinations)
+        return expected
 
     def _observe_phase(self, phase_name: str, result: PhaseResult) -> None:
         engine = self.system.engine
@@ -281,10 +302,23 @@ class ProactPhaseExecutor:
         launch = device.launch_kernel(
             work.kernel.name, kernel_work,
             milestones=region.milestone_fractions(schedule))
+        sanitizer = engine.sanitizer
+        if sanitizer.enabled:
+            for item in schedule:
+                sanitizer.register_chunk(gpu_id, item.chunk, item.nbytes,
+                                         engine.now)
         for event, item in zip(launch.milestone_events, schedule):
             assert event.callbacks is not None
+            if sanitizer.enabled:
+                # The milestone is the readiness counter's zero crossing;
+                # record it before the agent reacts so the sanitizer sees
+                # signal -> transfer in order.
+                event.callbacks.append(
+                    lambda _e, chunk=item.chunk:
+                    sanitizer.chunk_ready(gpu_id, chunk, engine.now))
             event.callbacks.append(
-                lambda _e, nbytes=item.nbytes: agent.chunk_ready(nbytes))
+                lambda _e, nbytes=item.nbytes, chunk=item.chunk:
+                agent.chunk_ready(nbytes, chunk=chunk))
         outcome.kernel_start = engine.now
         yield launch.done
         outcome.kernel_end = engine.now

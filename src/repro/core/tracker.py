@@ -30,15 +30,33 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class ReadinessTracker:
-    """Per-chunk atomic counters decremented as CTAs complete."""
+    """Per-chunk atomic counters decremented as CTAs complete.
 
-    def __init__(self, engine: "Engine", mapping: BlockMapping) -> None:
+    When the engine carries an enabled sanitizer
+    (:mod:`repro.validate`), every counter event is mirrored into it:
+    chunks register with their writer counts, each decrement is a
+    retired writer, and the zero crossing is the readiness signal.  A
+    corrupted counter (e.g. a store dropped by a buggy mapping) then
+    surfaces as a structured ``signal-before-writers-retired`` error
+    naming the chunk, GPU, and simulation time.
+    """
+
+    def __init__(self, engine: "Engine", mapping: BlockMapping,
+                 gpu_id: int = 0) -> None:
         self.engine = engine
         self.mapping = mapping
+        self.gpu_id = gpu_id
         self.counters: List[int] = mapping.writers_per_chunk()
         self.chunk_ready: List[Event] = [
             Event(engine) for _ in range(mapping.num_chunks)]
         self._completed_ctas: Set[int] = set()
+        sanitizer = engine.sanitizer
+        if sanitizer.enabled:
+            chunk_sizes = getattr(mapping, "chunk_bytes", None)
+            for chunk, writers in enumerate(mapping.writers_per_chunk()):
+                nbytes = chunk_sizes(chunk) if callable(chunk_sizes) else 0
+                sanitizer.register_chunk(gpu_id, chunk, nbytes, engine.now,
+                                         expected_writers=writers)
 
     @property
     def num_chunks(self) -> int:
@@ -49,14 +67,21 @@ class ReadinessTracker:
         if cta_index in self._completed_ctas:
             raise ProactError(f"CTA {cta_index} already completed")
         self._completed_ctas.add(cta_index)
+        sanitizer = self.engine.sanitizer
         became_ready: List[int] = []
         for chunk in self.mapping.chunks_of_cta(cta_index):
             if self.counters[chunk] <= 0:
                 raise ProactError(
                     f"counter underflow on chunk {chunk}: the application "
                     "issued a non-deterministic number of stores")
+            if sanitizer.enabled:
+                sanitizer.writer_retired(self.gpu_id, chunk,
+                                         self.engine.now)
             self.counters[chunk] -= 1
             if self.counters[chunk] == 0:
+                if sanitizer.enabled:
+                    sanitizer.chunk_ready(self.gpu_id, chunk,
+                                          self.engine.now)
                 self.chunk_ready[chunk].succeed(chunk)
                 became_ready.append(chunk)
         return became_ready

@@ -42,3 +42,28 @@ class WorkloadError(ReproError):
 
 class CollectiveError(ReproError):
     """Raised for invalid collective schedules or algorithm selection."""
+
+
+class ValidationError(ReproError):
+    """Raised by the opt-in simulation sanitizers (``repro.validate``).
+
+    Carries the violated invariant plus enough structure — GPU, chunk,
+    simulation time — for a failing CI run to point at the exact moment
+    the protocol broke, not just that it did.
+    """
+
+    def __init__(self, message: str, *, invariant: str = "invariant",
+                 gpu: "int | None" = None, chunk: "int | None" = None,
+                 time: "float | None" = None) -> None:
+        parts = [f"[{invariant}]"]
+        if gpu is not None:
+            parts.append(f"gpu={gpu}")
+        if chunk is not None:
+            parts.append(f"chunk={chunk}")
+        if time is not None:
+            parts.append(f"t={time:.9g}s")
+        super().__init__(f"{' '.join(parts)} {message}")
+        self.invariant = invariant
+        self.gpu = gpu
+        self.chunk = chunk
+        self.time = time

@@ -40,11 +40,17 @@ class ExperimentContext:
     snapshot travel back on the :class:`ExperimentResult` (picklable, so
     this works across the runner's worker processes).  Observation never
     changes an experiment's tables — tracing only records, it does not
-    schedule.
+    schedule.  ``validate`` wraps each experiment in a
+    :func:`repro.validate.validation` scope: every system it builds runs
+    under the readiness sanitizer and conservation checker, and any
+    tripped invariant surfaces as that experiment's failure (the suite
+    keeps going and exits non-zero).  Like observation, validation only
+    checks — it never changes what an experiment computes.
     """
 
     quick: bool = True
     observe: bool = False
+    validate: bool = False
 
     @property
     def micro_bytes(self) -> int:
@@ -66,6 +72,8 @@ class ExperimentResult:
     trace: Optional[Dict] = None
     #: Metrics snapshot captured when the context asked to observe.
     metrics: Optional[Dict] = None
+    #: Sanitizer summary captured when the context asked to validate.
+    validation: Optional[Dict] = None
     #: Set when the experiment raised instead of producing tables; the
     #: runner reports it and exits non-zero.
     error: Optional[str] = None
@@ -98,6 +106,8 @@ class ExperimentResult:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.validation is not None:
+            payload["validation"] = self.validation
         if self.error is not None:
             payload["error"] = self.error
         return payload
@@ -188,15 +198,25 @@ def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     """
     spec = get_spec(name)
     started = time.perf_counter()
-    try:
+
+    def invoke() -> ExperimentResult:
         if ctx.observe:
             from repro.obs import capture
             with capture() as observation:
-                result = spec.run(ctx)
-            result.trace = observation.chrome_trace()
-            result.metrics = observation.metrics.snapshot()
+                observed = spec.run(ctx)
+            observed.trace = observation.chrome_trace()
+            observed.metrics = observation.metrics.snapshot()
+            return observed
+        return spec.run(ctx)
+
+    try:
+        if ctx.validate:
+            from repro.validate import validation
+            with validation() as scope:
+                result = invoke()
+            result.validation = scope.summary()
         else:
-            result = spec.run(ctx)
+            result = invoke()
     except Exception as exc:  # noqa: BLE001 - suite must outlive one failure
         result = ExperimentResult.failed(name, spec.label, exc)
     result.elapsed = time.perf_counter() - started

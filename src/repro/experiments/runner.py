@@ -16,7 +16,7 @@ Command line::
     python -m repro.experiments.runner [--full | --quick] [--jobs N]
                                        [--only NAME ...] [--json PATH]
                                        [--trace PATH] [--metrics PATH]
-                                       [--list]
+                                       [--validate] [--list]
 
 ``--trace`` captures every simulated system built by the selected
 experiments and writes one merged Chrome-trace JSON (open it at
@@ -24,9 +24,15 @@ https://ui.perfetto.dev); ``--metrics`` writes the aggregated metrics
 registry snapshots.  Either flag turns observation on; captured metrics
 are also merged into the ``--json`` results schema.
 
+``--validate`` runs every experiment under the simulation sanitizers
+(:mod:`repro.validate`): readiness ordering and byte conservation are
+checked on every system the suite builds, and a tripped invariant fails
+that experiment (and hence the suite) like any other raise.
+
 The process exits non-zero when any experiment raised or produced an
 empty results table (see :func:`suite_failures`); the failure is also
-recorded in the ``--json`` summary under the experiment's ``error`` key.
+recorded in the ``--json`` summary under the experiment's ``error`` key
+and in the run-level ``suite_failures`` list.
 """
 
 from __future__ import annotations
@@ -111,13 +117,16 @@ def _run_parallel(names: Sequence[str], ctx: ExperimentContext,
 def write_results_json(path: pathlib.Path,
                        results: Sequence[ExperimentResult],
                        quick: bool, jobs: int,
-                       total_elapsed: float) -> None:
+                       total_elapsed: float,
+                       validate: bool = False) -> None:
     """Persist the machine-readable run summary for CI/bench tooling."""
     payload = {
         "suite": "repro-experiments",
         "quick": quick,
         "jobs": jobs,
+        "validate": validate,
         "total_elapsed": total_elapsed,
+        "suite_failures": suite_failures(results),
         "experiments": [result.to_dict() for result in results],
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -147,7 +156,8 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
             jobs: int = 1, only: Optional[Sequence[str]] = None,
             json_path: Optional[str] = None,
             trace_path: Optional[str] = None,
-            metrics_path: Optional[str] = None) -> List[ExperimentResult]:
+            metrics_path: Optional[str] = None,
+            validate: bool = False) -> List[ExperimentResult]:
     """Run the experiment suite, printing each table as it completes.
 
     ``quick=True`` shrinks the microbenchmark data size and the profiler
@@ -158,12 +168,15 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     ``json_path`` additionally writes the structured results summary.
     ``trace_path``/``metrics_path`` turn on observation and write the
     merged Chrome trace / metrics snapshots; the printed tables are
-    byte-identical with observation on or off.
+    byte-identical with observation on or off.  ``validate=True`` runs
+    every experiment under the readiness/conservation sanitizers; a
+    tripped invariant records as that experiment's failure.
     """
     stream = out or sys.stdout
     names = [spec.name for spec in select_specs(only)]
     observe = trace_path is not None or metrics_path is not None
-    ctx = ExperimentContext(quick=quick, observe=observe)
+    ctx = ExperimentContext(quick=quick, observe=observe,
+                            validate=validate)
 
     started = time.perf_counter()
     if jobs > 1 and len(names) > 1:
@@ -174,7 +187,7 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
 
     if json_path is not None:
         write_results_json(pathlib.Path(json_path), results, quick, jobs,
-                           total_elapsed)
+                           total_elapsed, validate=validate)
     if trace_path is not None:
         write_trace_json(pathlib.Path(trace_path), results)
     if metrics_path is not None:
@@ -211,6 +224,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--metrics", metavar="PATH",
         help="capture and write per-experiment metrics snapshots to PATH")
     parser.add_argument(
+        "--validate", action="store_true",
+        help="run every experiment under the readiness/conservation "
+             "sanitizers; a tripped invariant fails the suite")
+    parser.add_argument(
         "--list", action="store_true",
         help="list registered experiment names and exit")
     args = parser.parse_args(argv)
@@ -224,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     results = run_all(quick=args.quick, jobs=args.jobs, only=args.only,
                       json_path=args.json, trace_path=args.trace,
-                      metrics_path=args.metrics)
+                      metrics_path=args.metrics, validate=args.validate)
     failures = suite_failures(results)
     if failures:
         for failure in failures:

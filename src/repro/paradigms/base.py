@@ -58,6 +58,7 @@ class Paradigm:
             name=f"{self.name}:{workload.name}")
         system.run(until=driver)
         system.finish_observation()
+        system.finish_validation()
         result.runtime = system.now
         result.bytes_moved = system.fabric.total_goodput_bytes()
         result.wire_bytes = system.fabric.total_wire_bytes()

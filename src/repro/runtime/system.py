@@ -24,6 +24,8 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.runtime.device import Device
 from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.validate.sanitizer import ReadinessSanitizer
+from repro.validate.scope import active as active_validation
 
 
 class System:
@@ -43,7 +45,8 @@ class System:
                  num_gpus: Optional[int] = None,
                  dma_engines: int = 1,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 sanitizer: Optional[ReadinessSanitizer] = None) -> None:
         if num_gpus is not None:
             spec = spec.with_num_gpus(num_gpus)
         if dma_engines < 1:
@@ -59,16 +62,25 @@ class System:
         if metrics is None:
             metrics = (observation.metrics if observation is not None
                        else NULL_METRICS)
+        if sanitizer is None:
+            validation = active_validation()
+            if validation is not None:
+                sanitizer = validation.new_sanitizer(spec.name)
         self.tracer = tracer
         self.metrics = metrics
         self._observation_finished = False
-        self.engine = Engine(tracer=tracer, metrics=metrics)
+        self.engine = Engine(tracer=tracer, metrics=metrics,
+                             sanitizer=sanitizer)
         self.gpus: List[Gpu] = [
             Gpu(self.engine, i, spec.gpu) for i in range(spec.num_gpus)]
         self.fabric = Fabric(self.engine, spec.interconnect, spec.num_gpus,
                              infinite=infinite_bw, quantum=quantum)
         self.devices: List[Device] = [
             Device(self, gpu, dma_engines=dma_engines) for gpu in self.gpus]
+        self.checker = None
+        if self.engine.sanitizer.enabled:
+            from repro.validate.conservation import ConservationChecker
+            self.checker = ConservationChecker(self)
 
     @classmethod
     def from_name(cls, name: str, infinite_bw: bool = False,
@@ -80,6 +92,33 @@ class System:
     @property
     def num_gpus(self) -> int:
         return self.spec.num_gpus
+
+    @property
+    def validating(self) -> bool:
+        """Whether this system runs under the readiness sanitizer."""
+        return self.engine.sanitizer.enabled
+
+    def attach_validation(self) -> ReadinessSanitizer:
+        """Install a fresh sanitizer + conservation checker on this system.
+
+        Used by :class:`~repro.core.runtime.ProactPhaseExecutor` when its
+        config carries ``validate=True`` outside an ambient
+        :func:`repro.validate.validation` scope.  Idempotent once enabled.
+        """
+        if not self.engine.sanitizer.enabled:
+            from repro.validate.conservation import ConservationChecker
+            self.engine.sanitizer = ReadinessSanitizer(label=self.spec.name)
+            self.checker = ConservationChecker(self)
+        return self.engine.sanitizer
+
+    def finish_validation(self) -> None:
+        """End-of-run audit: conservation over every link, no open chunks.
+
+        No-op when the system is not validating; safe to call from every
+        run-shaped entry point (paradigms, collectives, profiler).
+        """
+        if self.checker is not None:
+            self.checker.check(self.now)
 
     @property
     def now(self) -> float:

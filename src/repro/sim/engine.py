@@ -50,16 +50,21 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0,
                  tracer: Optional[Tracer] = None,
-                 metrics: Any = None) -> None:
+                 metrics: Any = None,
+                 sanitizer: Any = None) -> None:
         if metrics is None:
             from repro.obs.metrics import NULL_METRICS
             metrics = NULL_METRICS
+        if sanitizer is None:
+            from repro.validate.sanitizer import NULL_SANITIZER
+            sanitizer = NULL_SANITIZER
         self._now = start_time
         self._heap: List[_HeapEntry] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.sanitizer = sanitizer
         self.events_scheduled = 0
         self.events_fired = 0
 
@@ -118,13 +123,35 @@ class Engine:
             return float("inf")
         return self._heap[0][0]
 
+    def _attach_time(self, exc: BaseException) -> BaseException:
+        """Stamp the current simulation time onto a surfacing error.
+
+        Any exception escaping the engine — a process raising mid-phase,
+        a sanitizer violation inside a milestone callback, a deadlock —
+        gains a ``sim_time`` attribute (and an explanatory note on
+        Python >= 3.11) so the failure pinpoints *when* in simulated
+        time things broke, not just where in the code.
+        """
+        if getattr(exc, "sim_time", None) is None:
+            try:
+                exc.sim_time = self._now
+                if hasattr(exc, "add_note"):
+                    exc.add_note(
+                        f"raised at simulation time t={self._now:.9g}s")
+            except Exception:  # noqa: BLE001 - immutable exception types
+                pass
+        return exc
+
     def step(self) -> None:
         """Process the single next event on the heap."""
         if not self._heap:
-            raise DeadlockError("no scheduled events remain")
+            raise self._attach_time(
+                DeadlockError(f"no scheduled events remain "
+                              f"(t={self._now:.9g}s)"))
         when, _priority, _seq, event = heapq.heappop(self._heap)
         if when < self._now:
-            raise SimulationError("event heap corrupted: time went backwards")
+            raise self._attach_time(SimulationError(
+                "event heap corrupted: time went backwards"))
         self._now = when
         self.events_fired += 1
         if self.tracer.enabled and self.tracer.verbose:
@@ -132,12 +159,17 @@ class Engine:
                                payload=type(event).__name__)
         callbacks = event.callbacks
         event._mark_processed()
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
-        elif not event.ok and not event._defused:
-            # An unhandled failure with nobody waiting must not pass silently.
-            raise event.value
+        try:
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            elif not event.ok and not event._defused:
+                # An unhandled failure with nobody waiting must not pass
+                # silently.
+                raise event.value
+        except BaseException as exc:
+            self._attach_time(exc)
+            raise
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -164,9 +196,10 @@ class Engine:
     def _run_until_event(self, event: Event) -> Any:
         while not event.processed:
             if not self._heap:
-                raise DeadlockError(
-                    f"event queue drained before {event!r} was processed")
+                raise self._attach_time(DeadlockError(
+                    f"event queue drained before {event!r} was processed "
+                    f"(t={self._now:.9g}s)"))
             self.step()
         if not event.ok:
-            raise event.value
+            raise self._attach_time(event.value)
         return event.value

@@ -1,0 +1,84 @@
+"""Ambient validation scope: sanitize every system built inside it.
+
+Mirrors :mod:`repro.obs.capture`: experiments build
+:class:`~repro.runtime.system.System` objects deep inside paradigm and
+profiler code, so the sanitizer cannot be threaded as an explicit
+argument without touching every harness.  A :class:`Validation` installs
+itself as the ambient scope (:func:`validation`); any ``System``
+constructed while it is active receives a fresh
+:class:`~repro.validate.sanitizer.ReadinessSanitizer` (each system has
+its own clock, so each gets its own lifecycle state) and a
+:class:`~repro.validate.conservation.ConservationChecker`.
+
+The scope is a :mod:`contextvars` variable, so the runner's worker
+threads each see their own validation (or none).  :func:`suppress` masks
+the ambient scope, the same escape hatch the observation layer gives the
+profiler.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.validate.sanitizer import ReadinessSanitizer
+
+
+class Validation:
+    """A validation in progress: one sanitizer per system built."""
+
+    def __init__(self) -> None:
+        self.sanitizers: List[Tuple[str, ReadinessSanitizer]] = []
+
+    def new_sanitizer(self, label: str) -> ReadinessSanitizer:
+        """A fresh enabled sanitizer registered under ``label``."""
+        sanitizer = ReadinessSanitizer(label=label)
+        self.sanitizers.append((label, sanitizer))
+        return sanitizer
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate counters over every system validated in the scope."""
+        totals: Dict[str, int] = {"systems_validated": len(self.sanitizers)}
+        for _label, sanitizer in self.sanitizers:
+            for key, value in sanitizer.summary().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+_ACTIVE: contextvars.ContextVar[Optional[Validation]] = \
+    contextvars.ContextVar("repro_validation", default=None)
+
+
+def active() -> Optional[Validation]:
+    """The ambient validation, if a :func:`validation` scope is active."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def validation() -> Iterator[Validation]:
+    """Validate every system built inside the scope.
+
+    ::
+
+        with validation() as val:
+            fig7_endtoend.experiment(ctx)   # raises ValidationError on
+                                            # any protocol violation
+        print(val.summary())
+    """
+    scope = Validation()
+    token = _ACTIVE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Mask the ambient validation (systems inside are unchecked)."""
+    token = _ACTIVE.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

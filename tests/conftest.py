@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the whole test suite.
+
+The integration tests all want the same three ingredients: a small
+Table-I platform (4x Volta is the suite's default), a deterministic
+engine at t=0, and fast workload instances whose phase structure is
+still representative.  They are defined once here — as plain functions
+so tests can parameterize them (``volta_system(dma_engines=2)``), plus
+thin pytest fixtures for the common zero-argument cases.
+"""
+
+import pytest
+
+from repro.core import GpuPhaseWork, ProactPhaseExecutor
+from repro.hw import PLATFORM_4X_VOLTA
+from repro.runtime import KernelSpec, System
+from repro.sim import Engine
+from repro.units import MiB
+from repro.workloads import JacobiWorkload, PageRankWorkload
+
+# ---------------------------------------------------------------------------
+# Plain helpers (importable: ``from tests.conftest import volta_system``)
+# ---------------------------------------------------------------------------
+
+
+def volta_system(**kwargs):
+    """A 4x Volta Table-I system — the suite's default platform."""
+    return System(PLATFORM_4X_VOLTA, **kwargs)
+
+
+def small_pagerank(iterations=3):
+    """A PageRank instance small enough for per-test simulation."""
+    return PageRankWorkload(num_vertices=2_000_000, num_edges=60_000_000,
+                            iterations=iterations)
+
+
+def small_jacobi(iterations=3):
+    """A Jacobi instance small enough for per-test simulation."""
+    return JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
+                          iterations=iterations)
+
+
+def one_producer_phase(system, region_bytes=32 * MiB, num_ctas=8192,
+                       flops=None, **work_kwargs):
+    """Phase where GPU 0 produces a region for everyone; others idle-ish."""
+    gpu = system.gpus[0]
+    if flops is None:
+        flops = gpu.spec.flops * 2e-3  # a 2 ms kernel
+    works = []
+    for gpu_id in range(system.num_gpus):
+        if gpu_id == 0:
+            works.append(GpuPhaseWork(
+                kernel=KernelSpec("produce", flops, 0, num_ctas),
+                region_bytes=region_bytes, **work_kwargs))
+        else:
+            works.append(GpuPhaseWork(
+                kernel=KernelSpec("other", flops, 0, num_ctas)))
+    return works
+
+
+def run_phase(system, config, works, **executor_kwargs):
+    """Execute one PROACT phase to completion; returns its PhaseResult."""
+    executor = ProactPhaseExecutor(system, config, **executor_kwargs)
+    return system.run(until=executor.execute(works))
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def engine():
+    """A fresh deterministic discrete-event engine starting at t=0."""
+    return Engine()
+
+
+@pytest.fixture(name="system")
+def system_fixture():
+    """A fresh 4x Volta system (one engine, fabric, and devices)."""
+    return volta_system()
+
+
+@pytest.fixture
+def producer_phase(system):
+    """One-producer phase works matched to the ``system`` fixture."""
+    return one_producer_phase(system)

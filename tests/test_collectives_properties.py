@@ -1,0 +1,80 @@
+"""Property-based tests for collective schedules.
+
+Random, valid-by-construction collective specs come from
+:mod:`tests.strategies`; every generated schedule must survive the
+symbolic payload replay, and ring all-reduce must hit the
+bandwidth-optimal byte count exactly.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.algorithms import build_schedule
+from repro.collectives.schedule import verify_schedule
+from repro.units import KiB, MiB
+from tests.strategies import chunk_sizes, collective_specs
+
+fast_settings = settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@fast_settings
+@given(spec=collective_specs())
+def test_verify_schedule_accepts_every_generated_schedule(spec):
+    """The contributor-set oracle accepts all compiled schedules —
+    direct, ring, and tree, at every supported GPU count."""
+    collective, algorithm, num_gpus, nbytes, chunk_size, root = spec
+    schedule = build_schedule(collective, algorithm, num_gpus, nbytes,
+                              chunk_size, root=root)
+    verify_schedule(schedule)  # raises CollectiveError on any bad schedule
+    assert schedule.ops, "a non-empty collective must move data"
+    assert all(0 <= op.src < num_gpus and 0 <= op.dst < num_gpus
+               for op in schedule.ops)
+
+
+@fast_settings
+@given(spec=collective_specs())
+def test_op_dependencies_reference_earlier_ops(spec):
+    """Every dependency edge points backwards: the schedule is a DAG in
+    op-index order, so the executor can never deadlock on it."""
+    collective, algorithm, num_gpus, nbytes, chunk_size, root = spec
+    schedule = build_schedule(collective, algorithm, num_gpus, nbytes,
+                              chunk_size, root=root)
+    for op in schedule.ops:
+        assert all(dep < op.index for dep in op.deps)
+
+
+@fast_settings
+@given(num_gpus=st.sampled_from([2, 3, 4, 6, 8, 16]),
+       per_shard=st.integers(min_value=1 * KiB, max_value=2 * MiB),
+       chunk_size=chunk_sizes(min_size=64 * KiB, max_size=1 * MiB))
+def test_ring_all_reduce_moves_exactly_the_optimal_bytes(
+        num_gpus, per_shard, chunk_size):
+    """Ring all-reduce sources exactly 2(N-1)/N * payload bytes per GPU
+    for random GPU counts and (shard-aligned) payload sizes."""
+    nbytes = num_gpus * per_shard
+    schedule = build_schedule("all_reduce", "ring", num_gpus, nbytes,
+                              chunk_size)
+    optimal = 2 * (num_gpus - 1) * nbytes // num_gpus
+    for gpu in range(num_gpus):
+        assert schedule.sent_bytes(gpu) == optimal
+    total = sum(op.nbytes for op in schedule.ops)
+    assert total == num_gpus * optimal
+
+
+@fast_settings
+@given(spec=collective_specs(max_gpus=4, max_bytes=1 * MiB))
+def test_total_schedule_bytes_cover_the_payload(spec):
+    """No algorithm can distribute a payload with fewer total bytes than
+    the payload share every non-source GPU must receive."""
+    collective, algorithm, num_gpus, nbytes, chunk_size, root = spec
+    schedule = build_schedule(collective, algorithm, num_gpus, nbytes,
+                              chunk_size, root=root)
+    total = sum(op.nbytes for op in schedule.ops)
+    if collective == "broadcast":
+        # Every non-root GPU needs the whole payload once.
+        assert total >= nbytes * (num_gpus - 1)
+    else:
+        # Reductions/gathers must cross at least the (N-1)/N shard floor.
+        assert total >= (num_gpus - 1) * (nbytes // num_gpus)

@@ -19,33 +19,7 @@ from repro.errors import ProactError
 from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
 from repro.runtime import KernelSpec, System
 from repro.units import KiB, MiB
-
-
-def volta_system(**kwargs):
-    return System(PLATFORM_4X_VOLTA, **kwargs)
-
-
-def one_producer_phase(system, region_bytes=32 * MiB, num_ctas=8192,
-                       flops=None, **work_kwargs):
-    """Phase where GPU 0 produces a region for everyone; others idle-ish."""
-    gpu = system.gpus[0]
-    if flops is None:
-        flops = gpu.spec.flops * 2e-3  # a 2 ms kernel
-    works = []
-    for gpu_id in range(system.num_gpus):
-        if gpu_id == 0:
-            works.append(GpuPhaseWork(
-                kernel=KernelSpec("produce", flops, 0, num_ctas),
-                region_bytes=region_bytes, **work_kwargs))
-        else:
-            works.append(GpuPhaseWork(
-                kernel=KernelSpec("other", flops, 0, num_ctas)))
-    return works
-
-
-def run_phase(system, config, works, **executor_kwargs):
-    executor = ProactPhaseExecutor(system, config, **executor_kwargs)
-    return system.run(until=executor.execute(works))
+from tests.conftest import one_producer_phase, run_phase, volta_system
 
 
 # ---------------------------------------------------------------------------
@@ -274,3 +248,23 @@ def test_more_transfer_threads_speed_up_drain():
 
     # 32 threads (~2.9 GB/s copy rate) starve NVLink2; 4096 saturate it.
     assert drain_time(32) > 5 * drain_time(4096)
+
+
+def test_error_raised_mid_phase_carries_simulation_time():
+    """A process dying while a phase is in flight surfaces through
+    System.run with the simulation time of the raise attached."""
+    system = volta_system()
+    executor = ProactPhaseExecutor(
+        system, ProactConfig(MECH_POLLING, 256 * KiB, 2048))
+    works = one_producer_phase(system, region_bytes=8 * MiB)
+
+    def saboteur(engine):
+        yield engine.timeout(1e-3)
+        raise RuntimeError("device lost")
+
+    system.engine.process(saboteur(system.engine))
+    with pytest.raises(RuntimeError, match="device lost") as err:
+        system.run(until=executor.execute(works))
+    assert err.value.sim_time == pytest.approx(1e-3)
+    assert any("simulation time" in note
+               for note in getattr(err.value, "__notes__", []))

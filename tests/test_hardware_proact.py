@@ -17,12 +17,11 @@ from repro.paradigms import (
 )
 from repro.runtime import KernelSpec, System
 from repro.units import KiB, MiB
-from repro.workloads import PageRankWorkload
+from tests.conftest import small_pagerank as _small_pagerank
 
 
 def small_pagerank():
-    return PageRankWorkload(num_vertices=2_000_000, num_edges=60_000_000,
-                            iterations=2)
+    return _small_pagerank(iterations=2)
 
 
 def test_hardware_config_label():

@@ -13,18 +13,7 @@ from repro.paradigms import (
 )
 from repro.units import KiB, MiB
 from repro.workloads import JacobiWorkload, PageRankWorkload
-
-# Small, fast workload instances for paradigm tests.
-
-
-def small_pagerank():
-    return PageRankWorkload(num_vertices=2_000_000, num_edges=60_000_000,
-                            iterations=3)
-
-
-def small_jacobi():
-    return JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
-                          iterations=3)
+from tests.conftest import small_jacobi, small_pagerank
 
 
 def run_all(workload, platform):

@@ -19,20 +19,20 @@ from repro.core.profiler import (
 from repro.errors import ProactError
 from repro.hw import PLATFORM_4X_KEPLER, PLATFORM_4X_VOLTA
 from repro.units import KiB, MiB
-from repro.workloads import JacobiWorkload, PageRankWorkload
+from repro.workloads import PageRankWorkload
+from tests.conftest import small_jacobi as _small_jacobi
+from tests.conftest import small_pagerank as _small_pagerank
 
 SMALL_CHUNKS = (128 * KiB, 1 * MiB)
 SMALL_THREADS = (1024, 4096)
 
 
 def small_pagerank():
-    return PageRankWorkload(num_vertices=2_000_000, num_edges=60_000_000,
-                            iterations=2)
+    return _small_pagerank(iterations=2)
 
 
 def small_jacobi():
-    return JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
-                          iterations=2)
+    return _small_jacobi(iterations=2)
 
 
 def test_profiler_validation():

@@ -297,3 +297,134 @@ def test_cli_exit_status_reflects_failures(monkeypatch, capsys):
 
     monkeypatch.setattr(runner, "run_all", lambda **kwargs: [ok])
     assert runner.main(["--only", "table1"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# --validate: sanitizers across the suite
+# ---------------------------------------------------------------------------
+
+def _register_fake(monkeypatch, name, experiment_fn):
+    """Install a throwaway experiment module + registry entry."""
+    import sys
+    import types
+
+    module = types.ModuleType(f"repro.experiments._{name}")
+    module.experiment = experiment_fn
+    monkeypatch.setitem(sys.modules, f"repro.experiments._{name}", module)
+    from repro.experiments import registry
+    from repro.experiments.registry import ExperimentSpec
+    monkeypatch.setitem(registry._BY_NAME, name,
+                        ExperimentSpec(name, name.title(),
+                                       f"repro.experiments._{name}"))
+
+
+def test_validate_context_attaches_sanitizer_summary(monkeypatch):
+    def experiment(ctx):
+        from repro.hw import PLATFORM_4X_VOLTA
+        from repro.runtime import System
+        from repro.units import MiB
+
+        system = System(PLATFORM_4X_VOLTA)
+        assert system.validating  # the runner's scope reached us
+        proc = system.collective("all_reduce", 1 * MiB)
+        system.run(until=proc)
+        system.finish_validation()
+        table = TextTable("Validated", ["ok"])
+        table.add_row(1)
+        return ExperimentResult.build("validated", "Validated", [table], {})
+
+    _register_fake(monkeypatch, "validated", experiment)
+    result = run_experiment("validated",
+                            ExperimentContext(quick=True, validate=True))
+    assert result.error is None
+    assert result.validation is not None
+    assert result.validation["violations"] == 0
+    assert result.validation["systems_validated"] == 1
+    assert result.to_dict()["validation"]["systems_validated"] == 1
+
+
+def test_validate_off_leaves_experiments_unvalidated(monkeypatch):
+    def experiment(ctx):
+        from repro.hw import PLATFORM_4X_VOLTA
+        from repro.runtime import System
+
+        assert not System(PLATFORM_4X_VOLTA).validating
+        table = TextTable("Plain", ["ok"])
+        table.add_row(1)
+        return ExperimentResult.build("plain", "Plain", [table], {})
+
+    _register_fake(monkeypatch, "plain", experiment)
+    result = run_experiment("plain", ExperimentContext(quick=True))
+    assert result.error is None
+    assert result.validation is None
+
+
+def test_tripped_invariant_fails_the_experiment_not_the_suite(monkeypatch):
+    def experiment(ctx):
+        from repro.errors import ValidationError
+        raise ValidationError("stale chunk observed",
+                              invariant="read-before-ready",
+                              gpu=1, chunk=3, time=0.5)
+
+    _register_fake(monkeypatch, "tripped", experiment)
+    result = run_experiment("tripped",
+                            ExperimentContext(quick=True, validate=True))
+    assert result.error is not None
+    assert "read-before-ready" in result.error
+    assert "chunk=3" in result.error
+    assert runner.suite_failures([result]) == [f"tripped: {result.error}"]
+
+
+def test_results_json_carries_suite_failures_and_validate_flag(
+        monkeypatch, tmp_path):
+    def fake_run(name, ctx):
+        assert ctx.validate
+        if name == "fig2":
+            return ExperimentResult.failed(
+                name, "Figure 2", ValueError("tripped invariant"))
+        return run_experiment(name, ctx)
+
+    monkeypatch.setattr(runner, "run_experiment", fake_run)
+    path = tmp_path / "results.json"
+    buffer = io.StringIO()
+    results = runner.run_all(quick=True, only=FAST, out=buffer,
+                             json_path=str(path), validate=True)
+    payload = json.loads(path.read_text())
+    assert payload["validate"] is True
+    assert payload["suite_failures"] == ["fig2: ValueError: tripped invariant"]
+    assert runner.suite_failures(results) == payload["suite_failures"]
+
+
+def test_clean_run_has_empty_suite_failures_in_json(tmp_path):
+    path = tmp_path / "results.json"
+    runner.run_all(quick=True, only=["table1"], out=io.StringIO(),
+                   json_path=str(path))
+    payload = json.loads(path.read_text())
+    assert payload["suite_failures"] == []
+    assert payload["validate"] is False
+
+
+def test_cli_validate_flag_exits_nonzero_on_tripped_invariant(
+        monkeypatch, capsys, tmp_path):
+    def fake_run_all(**kwargs):
+        assert kwargs["validate"] is True
+        failed = ExperimentResult.failed(
+            "fig6", "Figure 6",
+            ValueError("[read-before-ready] gpu=0 chunk=2 t=1e-3s stale"))
+        if kwargs.get("json_path"):
+            runner.write_results_json(
+                __import__("pathlib").Path(kwargs["json_path"]), [failed],
+                quick=True, jobs=1, total_elapsed=0.1, validate=True)
+        return [failed]
+
+    monkeypatch.setattr(runner, "run_all", fake_run_all)
+    path = tmp_path / "results.json"
+    assert runner.main(["--quick", "--validate", "--only", "fig6",
+                        "--json", str(path)]) == 1
+    assert "read-before-ready" in capsys.readouterr().err
+    assert json.loads(path.read_text())["suite_failures"]
+
+
+def test_cli_validate_flag_passes_clean(capsys):
+    assert runner.main(["--quick", "--validate", "--only", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out

@@ -241,3 +241,63 @@ def test_nested_conditions():
     result = engine.run(until=outer)
     assert engine.now == 2.0
     assert inner in result
+
+
+# ---------------------------------------------------------------------------
+# Error context: every escaping exception carries the simulation time
+# ---------------------------------------------------------------------------
+
+def test_process_raising_mid_run_carries_sim_time():
+    engine = Engine()
+
+    def crasher(engine):
+        yield engine.timeout(2.5)
+        raise RuntimeError("kernel fault")
+
+    engine.process(crasher(engine))
+    with pytest.raises(RuntimeError, match="kernel fault") as err:
+        engine.run()
+    assert err.value.sim_time == 2.5
+    assert "t=2.5s" in "".join(getattr(err.value, "__notes__", []))
+
+
+def test_run_until_failed_event_carries_sim_time():
+    engine = Engine()
+
+    def crasher(engine):
+        yield engine.timeout(1.25)
+        raise ValueError("mid-phase")
+
+    proc = engine.process(crasher(engine))
+    with pytest.raises(ValueError, match="mid-phase") as err:
+        engine.run(until=proc)
+    assert err.value.sim_time == 1.25
+
+
+def test_deadlock_error_carries_sim_time_and_message():
+    engine = Engine()
+    engine.timeout(3.0)
+    engine.run()
+    orphan = engine.event()
+    with pytest.raises(DeadlockError, match="t=3s") as err:
+        engine.run(until=orphan)
+    assert err.value.sim_time == 3.0
+
+
+def test_sim_time_of_first_raise_is_preserved():
+    """An exception that escapes once keeps its original raise time even
+    if it is re-raised through a later engine at a different clock."""
+    engine = Engine()
+
+    def crasher(engine):
+        yield engine.timeout(0.5)
+        raise RuntimeError("original")
+
+    engine.process(crasher(engine))
+    with pytest.raises(RuntimeError) as err:
+        engine.run()
+    exc = err.value
+    assert exc.sim_time == 0.5
+    other = Engine(start_time=9.0)
+    other._attach_time(exc)
+    assert exc.sim_time == 0.5
