@@ -1,0 +1,120 @@
+"""Benchmark: the PR 5 hot-path overhaul, gated on result identity.
+
+Three numbers, written to ``benchmarks/results/BENCH_engine.json``:
+
+* raw engine event throughput (a timeout-chained process mesh);
+* the reference profiler sweep's wall time (exhaustive, unpruned) —
+  the same sweep measured at the pre-PR commit, so the ratio is the
+  speedup from the engine/interconnect/fluid fast paths alone;
+* the same sweep with lower-bound pruning — the headline speedup the
+  overhaul ships.
+
+The speedup gate is only meaningful because the *results* are pinned:
+the sweep must reproduce the pre-PR best configuration and its runtime
+bit-for-bit, and the pruned sweep must match the unpruned one entry for
+entry.  A fast simulator that simulates something else would fail here
+first.
+
+Pre-PR reference: commit 3808a03 ("Add simulation correctness layer"),
+measured on the same idle container this harness runs in.
+"""
+
+import json
+import time
+
+from repro.core.profiler import Profiler
+from repro.hw import platform_by_name
+from repro.sim.engine import Engine
+from repro.workloads import PageRankWorkload
+
+#: Measured at the pre-PR commit with this exact file's sweep spec.
+BASELINE_SWEEP_S = 13.955
+BASELINE_EVENTS_PER_SEC = 609_260
+#: The pre-PR sweep's answer; simulated results must not move.
+BASELINE_BEST_LABEL = "D 64kB 2048 Poll"
+BASELINE_BEST_RUNTIME = 0.01023327967536232
+
+SWEEP_CHUNKS = (65536, 262144, 1048576, 4194304)
+SWEEP_THREADS = (512, 2048)
+
+#: Acceptance floor: profiler sweep at least this much faster end-to-end.
+REQUIRED_SPEEDUP = 1.5
+
+
+def _spin(engine, n):
+    for _ in range(n):
+        yield engine.timeout(1e-6)
+
+
+def events_per_sec() -> float:
+    """Throughput of the bare engine on a 50 x 2000 timeout mesh."""
+    engine = Engine()
+    for _ in range(50):
+        engine.process(_spin(engine, 2000))
+    t0 = time.perf_counter()
+    engine.run()
+    return engine.events_fired / (time.perf_counter() - t0)
+
+
+def _sweep(prune: bool):
+    profiler = Profiler(platform_by_name("4x_volta"),
+                        chunk_sizes=SWEEP_CHUNKS,
+                        thread_counts=SWEEP_THREADS,
+                        search="exhaustive", prune=prune)
+    builder = PageRankWorkload().phase_builder()
+    t0 = time.perf_counter()
+    result = profiler.profile(builder)
+    return result, time.perf_counter() - t0
+
+
+def test_engine_perf_overhaul(benchmark, results_dir):
+    result, unpruned_s = _sweep(prune=False)
+
+    # Byte-identity first: the optimized hot paths must reproduce the
+    # pre-PR sweep exactly — same winner, bitwise-equal runtime, full
+    # grid measured.
+    assert result.best_config.label() == BASELINE_BEST_LABEL
+    assert result.best.runtime == BASELINE_BEST_RUNTIME
+    assert len(result.entries) == 1 + 2 * len(SWEEP_CHUNKS) * len(SWEEP_THREADS)
+
+    pruned, pruned_s = benchmark.pedantic(
+        _sweep, kwargs={"prune": True}, rounds=1, iterations=1)
+    assert pruned.best.config == result.best.config
+    assert pruned.best.runtime == result.best.runtime
+    measured = {entry.config: entry.runtime for entry in result.entries}
+    for entry in pruned.entries:
+        assert measured[entry.config] == entry.runtime
+    assert len(pruned.entries) + pruned.pruned_configs == len(result.entries)
+
+    eps = events_per_sec()
+    engine_speedup = BASELINE_SWEEP_S / unpruned_s
+    total_speedup = BASELINE_SWEEP_S / pruned_s
+
+    datapoint = {
+        "benchmark": "engine_perf",
+        "baseline_commit": "3808a03",
+        "baseline_sweep_s": BASELINE_SWEEP_S,
+        "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
+        "events_per_sec": round(eps),
+        "events_per_sec_speedup": round(eps / BASELINE_EVENTS_PER_SEC, 3),
+        "sweep_s": round(unpruned_s, 3),
+        "sweep_pruned_s": round(pruned_s, 3),
+        "engine_speedup": round(engine_speedup, 3),
+        "total_speedup": round(total_speedup, 3),
+        "pruned_configs": pruned.pruned_configs,
+        "floor_runs": pruned.floor_runs,
+        "best": result.best_config.label(),
+        "best_runtime": result.best.runtime,
+        "identical_results": True,
+    }
+    path = results_dir / "BENCH_engine.json"
+    path.write_text(json.dumps(datapoint, indent=2, sort_keys=True) + "\n")
+
+    # The engine fast paths alone must never regress the sweep, and the
+    # full overhaul (fast paths + pruning) must clear the acceptance bar.
+    assert engine_speedup > 1.0, (
+        f"unpruned sweep regressed: {unpruned_s:.2f}s vs "
+        f"baseline {BASELINE_SWEEP_S:.2f}s")
+    assert total_speedup >= REQUIRED_SPEEDUP, (
+        f"overhauled sweep only {total_speedup:.2f}x faster than the "
+        f"pre-PR baseline (needed {REQUIRED_SPEEDUP}x)")

@@ -6,39 +6,50 @@ granularity, and transfer-thread count for one application/platform pair,
 print the whole profile, and report the configuration the framework would
 bake into the compiled binary (one cell of Table II).
 
-Run:  python examples/autotune_jacobi.py [platform]
+The sweep goes through ``Session.profile``; pass ``--exhaustive`` to run
+the brute-force grid with the infinite-bandwidth lower-bound pruning
+(identical winner, fewer full measurements).
+
+Run:  python examples/autotune_jacobi.py [platform] [--exhaustive]
       (platform defaults to 4x_pascal; see repro.hw.PLATFORMS)
 """
 
 import sys
 
-from repro.core import Profiler
+from repro import Session
 from repro.experiments.report import TextTable
-from repro.hw import platform_by_name
 from repro.units import KiB, MiB, format_time
 from repro.workloads import JacobiWorkload
 
 
 def main() -> None:
-    platform_name = sys.argv[1] if len(sys.argv) > 1 else "4x_pascal"
-    platform = platform_by_name(platform_name)
+    args = [arg for arg in sys.argv[1:] if arg != "--exhaustive"]
+    exhaustive = "--exhaustive" in sys.argv[1:]
+    platform_name = args[0] if args else "4x_pascal"
+    session = Session(platform_name)
     workload = JacobiWorkload()
 
-    profiler = Profiler(
-        platform,
+    search = "exhaustive" if exhaustive else "coordinate"
+    print(f"Profiling {workload.name} on {session.platform.name} "
+          f"({search} search{', pruned' if exhaustive else ''})...\n")
+    profile = session.profile(
+        workload,
         chunk_sizes=(16 * KiB, 128 * KiB, 1 * MiB, 4 * MiB),
         thread_counts=(256, 1024, 2048, 4096),
+        search=search,
+        prune=exhaustive,
     )
-    print(f"Profiling {workload.name} on {platform.name} "
-          f"(coordinate-descent search)...\n")
-    profile = profiler.profile(workload.phase_builder())
 
     table = TextTable(
-        title=f"Profile: {workload.name} on {platform.name}",
+        title=f"Profile: {workload.name} on {session.platform.name}",
         columns=["configuration", "runtime"])
     for entry in sorted(profile.entries, key=lambda e: e.runtime):
         table.add_row(entry.config.label(), format_time(entry.runtime))
     print(table)
+    if profile.pruned_configs:
+        print(f"\n({profile.pruned_configs} configurations pruned by the "
+              f"infinite-bandwidth lower bound; {profile.floor_runs} floor "
+              f"simulations)")
 
     best = profile.best
     print(f"\nChosen configuration (Table II cell): {best.config.label()}"

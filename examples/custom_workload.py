@@ -13,16 +13,9 @@ writes) and the graph workloads (every peer needs the halos).
 Run:  python examples/custom_workload.py
 """
 
-from repro import GpuPhaseWork, KernelSpec, Profiler
+from repro import GpuPhaseWork, KernelSpec, Session
 from repro.core import StencilMapping
 from repro.experiments.report import TextTable
-from repro.hw import PLATFORM_4X_VOLTA
-from repro.paradigms import (
-    BulkMemcpyParadigm,
-    InfiniteBandwidthParadigm,
-    ProactDecoupledParadigm,
-    ProactInlineParadigm,
-)
 from repro.units import KiB, MiB, format_time
 from repro.workloads import Workload, strip_final_phase_regions
 
@@ -58,29 +51,28 @@ class StencilWorkload(Workload):
 
 
 def main() -> None:
-    platform = PLATFORM_4X_VOLTA
+    session = Session("4x_volta")
     workload = StencilWorkload()
 
-    print(f"Profiling {workload.name} on {platform.name}...")
-    profiler = Profiler(platform,
-                        chunk_sizes=(64 * KiB, 512 * KiB, 4 * MiB),
-                        thread_counts=(512, 2048))
-    profile = profiler.profile(workload.phase_builder())
+    print(f"Profiling {workload.name} on {session.platform.name}...")
+    profile = session.profile(workload,
+                              chunk_sizes=(64 * KiB, 512 * KiB, 4 * MiB),
+                              thread_counts=(512, 2048))
     print(f"profiler chose: {profile.best_config.label()}\n")
 
-    reference = InfiniteBandwidthParadigm().execute(
-        workload, platform.with_num_gpus(1)).runtime
+    reference = Session(session.platform, num_gpus=1).run(
+        workload, "infinite").runtime
     if profile.best_config.is_decoupled:
-        decoupled = ProactDecoupledParadigm(profile.best_config)
+        decoupled = ("decoupled", {"config": profile.best_config})
     else:
-        decoupled = ProactDecoupledParadigm()  # default decoupled config
+        decoupled = ("decoupled", {})  # default decoupled config
     table = TextTable(
-        title=f"{workload.name} on {platform.name}",
+        title=f"{workload.name} on {session.platform.name}",
         columns=["paradigm", "runtime", "speedup vs 1 GPU"])
-    for paradigm in (BulkMemcpyParadigm(), ProactInlineParadigm(),
-                     decoupled, InfiniteBandwidthParadigm()):
-        result = paradigm.execute(workload, platform)
-        table.add_row(paradigm.name, format_time(result.runtime),
+    for name, kwargs in (("bulk", {}), ("inline", {}),
+                         decoupled, ("infinite", {})):
+        result = session.run(workload, name, **kwargs)
+        table.add_row(result.paradigm, format_time(result.runtime),
                       f"{reference / result.runtime:.2f}x")
     print(table)
 

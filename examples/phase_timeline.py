@@ -15,7 +15,7 @@ lanes ``python -m repro --trace trace.json`` exports for Perfetto.
 Run:  python examples/phase_timeline.py
 """
 
-from repro import GpuPhaseWork, KernelSpec, ProactConfig, System
+from repro import GpuPhaseWork, KernelSpec, ProactConfig, Session
 from repro.core import (
     MECH_HARDWARE,
     MECH_POLLING,
@@ -26,8 +26,6 @@ from repro.experiments.timeline import (
     render_trace_timeline,
     trace_exposed_transfer_time,
 )
-from repro.hw import PLATFORM_4X_VOLTA
-from repro.sim.trace import Tracer
 from repro.units import KiB, MiB
 
 
@@ -49,7 +47,7 @@ def build_phase(system):
 
 
 def show(title, config):
-    system = System(PLATFORM_4X_VOLTA)
+    system = Session("4x_volta").system()
     executor = ProactPhaseExecutor(system, config)
     result = system.run(until=executor.execute(build_phase(system)))
     print(f"--- {title} ({config.label()}) ---")
@@ -59,10 +57,11 @@ def show(title, config):
 
 def show_traced(title, config):
     """Same phase, but the strip is rebuilt from the recorded trace."""
-    system = System(PLATFORM_4X_VOLTA, tracer=Tracer())
+    session = Session("4x_volta", trace=True)
+    system = session.system()
     executor = ProactPhaseExecutor(system, config)
     result = system.run(until=executor.execute(build_phase(system)))
-    system.finish_observation()
+    session.finish(system)
     print(f"--- {title} ({config.label()}) ---")
     print(render_trace_timeline(system.tracer))
     reconstructed = trace_exposed_transfer_time(system.tracer)

@@ -6,42 +6,39 @@ duplication, Unified Memory, PROACT-inline, PROACT-decoupled, and the
 infinite-bandwidth limit, and prints the speedups over a single GPU —
 one row of the paper's Figure 7.
 
+Everything goes through :class:`repro.api.Session`: one object bundles
+the platform with the run policy, and ``session.run(workload,
+paradigm=...)`` replaces paradigm-class construction.
+
 Run:  python examples/quickstart.py
 """
 
+from repro import Session
 from repro.experiments.report import TextTable
-from repro.hw import PLATFORM_4X_VOLTA
-from repro.paradigms import (
-    BulkMemcpyParadigm,
-    InfiniteBandwidthParadigm,
-    ProactDecoupledParadigm,
-    ProactInlineParadigm,
-    UnifiedMemoryParadigm,
-)
 from repro.units import format_time
 from repro.workloads import PageRankWorkload
 
+PARADIGMS = ("bulk", "um", "inline", "decoupled", "infinite")
+
 
 def main() -> None:
-    platform = PLATFORM_4X_VOLTA
+    session = Session("4x_volta")
     workload = PageRankWorkload()
+    platform = session.platform
     print(f"Running {workload.name} on {platform.num_gpus}x "
           f"{platform.gpu.name} ({platform.interconnect.name})\n")
 
-    single_gpu = InfiniteBandwidthParadigm().execute(
-        workload, platform.with_num_gpus(1))
+    single_gpu = Session(platform, num_gpus=1).run(workload, "infinite")
     print(f"single-GPU reference: {format_time(single_gpu.runtime)}\n")
 
     table = TextTable(
         title=f"{workload.name} on {platform.name}",
         columns=["paradigm", "runtime", "speedup", "wire efficiency"])
-    for paradigm in (BulkMemcpyParadigm(), UnifiedMemoryParadigm(),
-                     ProactInlineParadigm(), ProactDecoupledParadigm(),
-                     InfiniteBandwidthParadigm()):
-        result = paradigm.execute(workload, platform)
+    for paradigm in PARADIGMS:
+        result = session.run(workload, paradigm)
         efficiency = result.interconnect_efficiency
         table.add_row(
-            paradigm.name,
+            result.paradigm,
             format_time(result.runtime),
             f"{single_gpu.runtime / result.runtime:.2f}x",
             f"{efficiency:.0%}" if efficiency else "n/a")

@@ -9,14 +9,8 @@ while staying within ~77-85 % of the infinite-bandwidth limit.
 Run:  python examples/strong_scaling_dgx2.py
 """
 
+from repro import Session
 from repro.experiments.report import TextTable, geometric_mean
-from repro.hw import PLATFORM_16X_VOLTA
-from repro.paradigms import (
-    BulkMemcpyParadigm,
-    InfiniteBandwidthParadigm,
-    ProactDecoupledParadigm,
-    ProactInlineParadigm,
-)
 from repro.workloads import default_workloads
 
 GPU_COUNTS = (1, 2, 4, 8, 16)
@@ -24,9 +18,9 @@ GPU_COUNTS = (1, 2, 4, 8, 16)
 
 def main() -> None:
     workloads = default_workloads()
+    single = Session("16x_volta", num_gpus=1)
     references = {
-        workload.name: InfiniteBandwidthParadigm().execute(
-            workload, PLATFORM_16X_VOLTA.with_num_gpus(1)).runtime
+        workload.name: single.run(workload, "infinite").runtime
         for workload in workloads}
 
     table = TextTable(
@@ -34,24 +28,21 @@ def main() -> None:
         columns=["gpus", "cudaMemcpy", "PROACT", "Infinite BW",
                  "PROACT vs memcpy", "% of limit"])
     for count in GPU_COUNTS:
-        platform = PLATFORM_16X_VOLTA.with_num_gpus(count)
+        session = Session("16x_volta", num_gpus=count)
         memcpy, proact, ideal = [], [], []
         for workload in workloads:
             reference = references[workload.name]
-            memcpy.append(reference / BulkMemcpyParadigm().execute(
-                workload, platform).runtime)
+            memcpy.append(
+                reference / session.run(workload, "bulk").runtime)
             if count == 1:
-                best = InfiniteBandwidthParadigm().execute(
-                    workload, platform).runtime
+                best = session.run(workload, "infinite").runtime
             else:
                 best = min(
-                    ProactDecoupledParadigm().execute(
-                        workload, platform).runtime,
-                    ProactInlineParadigm().execute(
-                        workload, platform).runtime)
+                    session.run(workload, "decoupled").runtime,
+                    session.run(workload, "inline").runtime)
             proact.append(reference / best)
-            ideal.append(reference / InfiniteBandwidthParadigm().execute(
-                workload, platform).runtime)
+            ideal.append(
+                reference / session.run(workload, "infinite").runtime)
         geo_memcpy = geometric_mean(memcpy)
         geo_proact = geometric_mean(proact)
         geo_ideal = geometric_mean(ideal)

@@ -4,18 +4,22 @@ substrate.
 
 Quickstart::
 
-    from repro import System, ProactConfig, Profiler
+    from repro import Session
     from repro.workloads import PageRankWorkload
-    from repro.paradigms import ProactDecoupledParadigm
-    from repro.hw import PLATFORM_4X_VOLTA
 
-    result = ProactDecoupledParadigm().execute(
-        PageRankWorkload(), PLATFORM_4X_VOLTA)
+    session = Session("4x_volta", validate=True)
+    result = session.run(PageRankWorkload(), paradigm="proact")
     print(result.runtime, result.interconnect_efficiency)
 
-See ``repro.experiments`` for the harnesses that regenerate every table
-and figure from the paper's evaluation.
+:class:`~repro.api.Session` is the front door: one object bundling a
+platform with an observability/validation policy, with ``run``,
+``profile``, and ``collective`` entry points.  The underlying layers
+(``System``, paradigms, ``Profiler``) remain public for fine-grained
+control.  See ``repro.experiments`` for the harnesses that regenerate
+every table and figure from the paper's evaluation.
 """
+
+from repro.api import Session
 
 from repro.core import (
     GpuPhaseWork,
@@ -43,6 +47,7 @@ from repro.validate import validation
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
     "System",
     "KernelSpec",
     "ProactConfig",

@@ -1,0 +1,316 @@
+"""One-stop session facade over the simulator.
+
+Four PRs of growth left the library with powerful but scattered entry
+points: ``System(spec, infinite_bw=..., ...)`` construction, paradigm
+classes, the profiler, the collective executor, and three separate
+ambient scopes (observation, validation, suppression).  :class:`Session`
+bundles a platform plus an observability/validation policy into one
+object with one method per thing you actually do::
+
+    from repro.api import Session
+    from repro.workloads import PageRankWorkload
+
+    session = Session("4x_volta", validate=True, trace=True)
+    result = session.run(PageRankWorkload(), paradigm="proact")
+    profile = session.profile(PageRankWorkload(), search="exhaustive",
+                              prune=True)
+    reduced = session.collective("all_reduce", 16 << 20)
+
+    print(result.runtime, profile.best_config.label())
+    session.save_chrome_trace("trace.json")
+    print(session.validation_summary())
+
+Every entry point runs inside the session's ambient scopes, so traces,
+metrics, and validation counters from successive calls accumulate on the
+session; grab them with :meth:`chrome_trace`, :attr:`metrics`, and
+:meth:`validation_summary`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Union
+
+from contextlib import ExitStack, contextmanager
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import PlatformSpec, platform_by_name
+from repro.interconnect.link import DEFAULT_QUANTUM
+from repro.obs.capture import Observation, observing
+from repro.obs.metrics import MetricsRegistry
+from repro.validate.scope import Validation, validating
+
+__all__ = ["Session"]
+
+#: Paradigm registry: public name -> factory.  Resolved lazily so that
+#: importing :mod:`repro.api` stays cheap and cycle-free.
+_PARADIGM_NAMES = (
+    "bulk", "memcpy", "um", "unified_memory", "p2p", "inline",
+    "decoupled", "proact", "auto", "hardware", "infinite",
+)
+
+
+def _paradigm_factories() -> Dict[str, Callable[..., Any]]:
+    from repro import paradigms as p
+    return {
+        "bulk": p.BulkMemcpyParadigm,
+        "memcpy": p.BulkMemcpyParadigm,
+        "um": p.UnifiedMemoryParadigm,
+        "unified_memory": p.UnifiedMemoryParadigm,
+        "p2p": p.P2pLoadParadigm,
+        "inline": p.ProactInlineParadigm,
+        "decoupled": p.ProactDecoupledParadigm,
+        "proact": p.ProactAutoParadigm,
+        "auto": p.ProactAutoParadigm,
+        "hardware": p.ProactHardwareParadigm,
+        "infinite": p.InfiniteBandwidthParadigm,
+    }
+
+
+class Session:
+    """A platform plus an observability/validation policy.
+
+    Args:
+        platform: A Table I platform name (``"4x_volta"``), a
+            :class:`~repro.hw.platform.PlatformSpec`, or ``None`` for
+            the default platform.
+        num_gpus: Override the platform's GPU count.
+        validate: Run every simulation under the readiness sanitizer and
+            conservation checker; violations raise
+            :class:`~repro.errors.ValidationError`.
+        trace: Record structural traces for every run (exported with
+            :meth:`chrome_trace`).
+        metrics: Collect the metrics registry even when tracing is off.
+        verbose_trace: Also record per-event engine lanes (huge; debug
+            only).
+        infinite_bw: Build systems with the infinite-bandwidth fabric
+            (the paper's limit study).
+        quantum: Link service quantum in bytes.
+        dma_engines: DMA engines per GPU for systems built via
+            :meth:`system` / :meth:`collective`.
+    """
+
+    DEFAULT_PLATFORM = "4x_volta"
+
+    def __init__(self, platform: Union[str, PlatformSpec, None] = None, *,
+                 num_gpus: Optional[int] = None,
+                 validate: bool = False,
+                 trace: bool = False,
+                 metrics: bool = False,
+                 verbose_trace: bool = False,
+                 infinite_bw: bool = False,
+                 quantum: int = DEFAULT_QUANTUM,
+                 dma_engines: int = 1) -> None:
+        if platform is None:
+            platform = self.DEFAULT_PLATFORM
+        if isinstance(platform, str):
+            platform = platform_by_name(platform)
+        if not isinstance(platform, PlatformSpec):
+            raise ConfigurationError(
+                f"platform must be a name or PlatformSpec, got {platform!r}")
+        if num_gpus is not None:
+            platform = platform.with_num_gpus(num_gpus)
+        self.platform = platform
+        self.infinite_bw = infinite_bw
+        self.quantum = quantum
+        self.dma_engines = dma_engines
+        # One long-lived observation/validation per session: every entry
+        # point below re-installs them as the ambient scopes, so results
+        # accumulate across calls.
+        self._observation: Optional[Observation] = None
+        if trace or metrics or verbose_trace:
+            self._observation = Observation(trace=trace or verbose_trace,
+                                            verbose=verbose_trace)
+        self._validation: Optional[Validation] = None
+        if validate:
+            self._validation = Validation()
+
+    # ------------------------------------------------------------------
+    # Scope plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self) -> Iterator["Session"]:
+        """Install this session's ambient scopes around arbitrary code.
+
+        The escape hatch for APIs the facade does not wrap yet::
+
+            with session.scope():
+                run_experiment("fig7_endtoend", ctx)
+        """
+        with ExitStack() as stack:
+            if self._observation is not None:
+                stack.enter_context(observing(self._observation))
+            if self._validation is not None:
+                stack.enter_context(validating(self._validation))
+            yield self
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def system(self):
+        """Build a :class:`~repro.runtime.system.System` for manual use.
+
+        The system picks up the session's tracer/metrics/sanitizer
+        policy; call :meth:`finish` on it when your manual run
+        completes to flush observability and run the validation audit.
+        """
+        from repro.runtime.system import System
+        with self.scope():
+            return System(self.platform, infinite_bw=self.infinite_bw,
+                          quantum=self.quantum,
+                          dma_engines=self.dma_engines)
+
+    def finish(self, system) -> None:
+        """Flush a hand-driven system built via :meth:`system`.
+
+        Exports merged link-occupancy lanes and run totals into the
+        session's trace/metrics and runs the end-of-run conservation
+        audit.  Idempotent.  ``run``/``profile``/``collective`` do this
+        themselves — only manually driven systems need it.
+        """
+        system._finish_observation()
+        system._finish_validation()
+
+    def run(self, workload, paradigm: Union[str, Any] = "proact",
+            **paradigm_kwargs):
+        """Execute ``workload`` under a paradigm; returns its result.
+
+        ``paradigm`` is a registry name (one of ``bulk``/``memcpy``,
+        ``um``/``unified_memory``, ``p2p``, ``inline``, ``decoupled``,
+        ``proact``/``auto``, ``hardware``, ``infinite``) or an already
+        constructed :class:`~repro.paradigms.Paradigm`.  Keyword
+        arguments go to the paradigm constructor (e.g.
+        ``config=ProactConfig(...)`` for ``decoupled``).  Returns a
+        :class:`~repro.paradigms.ParadigmResult`.
+        """
+        instance = self._resolve_paradigm(paradigm, paradigm_kwargs)
+        with self.scope():
+            return instance.execute(workload, self.platform)
+
+    def profile(self, workload, *, search: str = "coordinate",
+                prune: bool = False,
+                chunk_sizes: Optional[Sequence[int]] = None,
+                thread_counts: Optional[Sequence[int]] = None,
+                mechanisms: Optional[Sequence[str]] = None,
+                jobs: Optional[int] = None):
+        """Run PROACT's compile-time profiler for ``workload``.
+
+        ``prune=True`` (exhaustive search only) enables the
+        infinite-bandwidth lower-bound early exit — same argmin, fewer
+        full measurements.  ``jobs`` selects the process-pool backend.
+        Returns a :class:`~repro.core.profiler.ProfileResult`.
+        """
+        from repro.core.config import (PROFILE_CHUNK_SIZES,
+                                       PROFILE_THREAD_COUNTS)
+        from repro.core.config import ALL_MECHANISMS
+        from repro.core.profiler import ParallelProfiler, Profiler
+        kwargs: Dict[str, Any] = dict(
+            chunk_sizes=chunk_sizes or PROFILE_CHUNK_SIZES,
+            thread_counts=thread_counts or PROFILE_THREAD_COUNTS,
+            mechanisms=mechanisms or ALL_MECHANISMS,
+            search=search, prune=prune)
+        if jobs is not None and jobs > 1:
+            profiler = ParallelProfiler(self.platform, jobs=jobs, **kwargs)
+        else:
+            profiler = Profiler(self.platform, **kwargs)
+        builder = (workload.phase_builder()
+                   if hasattr(workload, "phase_builder") else workload)
+        with self.scope():
+            return profiler.profile(builder)
+
+    def collective(self, collective: str, nbytes: int, *,
+                   algorithm: str = "ring",
+                   chunk_size: Optional[int] = None,
+                   root: int = 0,
+                   access_size: Optional[int] = None):
+        """Run one collective to completion; returns its result.
+
+        Builds a fresh system under the session's policy, launches the
+        collective, runs the simulation until it finishes, and flushes
+        observability — the whole
+        ``System``/``run``/``finish_observation`` dance in one call.
+        Returns a :class:`~repro.collectives.executor.CollectiveResult`.
+        """
+        with self.scope():
+            system = self._build_system()
+            proc = system.collective(collective, nbytes,
+                                     algorithm=algorithm,
+                                     chunk_size=chunk_size, root=root,
+                                     access_size=access_size)
+            result = system.run(until=proc)
+            system._finish_observation()
+            system._finish_validation()
+            return result
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The session's shared metrics registry (``None`` untracked)."""
+        if self._observation is None:
+            return None
+        return self._observation.metrics
+
+    def chrome_trace(self) -> Dict:
+        """Everything traced so far as one Chrome-trace document."""
+        if self._observation is None:
+            raise ConfigurationError(
+                "session was created without trace/metrics; "
+                "pass trace=True to Session()")
+        return self._observation.chrome_trace()
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write :meth:`chrome_trace` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def validation_summary(self) -> Dict[str, int]:
+        """Aggregated sanitizer counters over every validated run."""
+        if self._validation is None:
+            raise ConfigurationError(
+                "session was created without validate=True")
+        return self._validation.summary()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_system(self):
+        from repro.runtime.system import System
+        return System(self.platform, infinite_bw=self.infinite_bw,
+                      quantum=self.quantum, dma_engines=self.dma_engines)
+
+    def _resolve_paradigm(self, paradigm: Union[str, Any],
+                          kwargs: Dict[str, Any]):
+        from repro.paradigms import Paradigm
+        if isinstance(paradigm, Paradigm):
+            if kwargs:
+                raise ConfigurationError(
+                    "paradigm kwargs only apply when the paradigm is "
+                    "given by name")
+            return paradigm
+        if not isinstance(paradigm, str):
+            raise ConfigurationError(
+                f"paradigm must be a name or Paradigm, got {paradigm!r}")
+        factories = _paradigm_factories()
+        try:
+            factory = factories[paradigm]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown paradigm {paradigm!r}; "
+                f"expected one of {', '.join(sorted(set(_PARADIGM_NAMES)))}"
+            ) from None
+        return factory(**kwargs)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self._validation is not None:
+            flags.append("validate")
+        if self._observation is not None:
+            flags.append("trace" if self._observation.trace_enabled
+                         else "metrics")
+        if self.infinite_bw:
+            flags.append("infinite_bw")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (f"<Session {self.platform.name}: "
+                f"{self.platform.num_gpus} GPUs{suffix}>")

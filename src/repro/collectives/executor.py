@@ -181,8 +181,8 @@ def run_collective(platform: "PlatformSpec", collective: str, algorithm: str,
                               nbytes, chunk_size, root=root)
     proc = CollectiveExecutor(system).launch(schedule)
     system.run(until=proc)
-    system.finish_observation()
-    system.finish_validation()
+    system._finish_observation()
+    system._finish_validation()
     return proc.value
 
 

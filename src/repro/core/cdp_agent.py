@@ -44,7 +44,7 @@ class CdpAgent(DecoupledAgent):
         launch_requested = engine.now
         yield device.cdp_launcher.request()
         try:
-            yield engine.timeout(device.spec.cdp_launch_latency)
+            yield engine._sleep(device.spec.cdp_launch_latency)
         finally:
             device.cdp_launcher.release()
         device.cdp_launch_count += 1

@@ -67,7 +67,7 @@ class HardwareAgent(DecoupledAgent):
 
     def _engine_transfer(self, nbytes: int, chunk=None):
         engine = self.system.engine
-        yield engine.timeout(HW_DESCRIPTOR_LATENCY)
+        yield engine._sleep(HW_DESCRIPTOR_LATENCY)
         if engine.tracer.enabled:
             engine.tracer.record(
                 engine.now, f"gpu{self.src_id}.agent", "hw-descriptor",

@@ -94,7 +94,7 @@ class PollingAgent(DecoupledAgent):
         assert self._started_at is not None
         elapsed = engine.now - self._started_at
         wait = period - math.fmod(elapsed, period)
-        yield engine.timeout(wait)
+        yield engine._sleep(wait)
         # The bitmap scan that found this chunk is an agent wakeup.
         if engine.tracer.enabled:
             engine.tracer.record(
@@ -107,7 +107,7 @@ class PollingAgent(DecoupledAgent):
         # Per-chunk dispatch work serializes within the agent.
         yield self._dispatcher.request()
         try:
-            yield engine.timeout(CHUNK_DISPATCH_OVERHEAD)
+            yield engine._sleep(CHUNK_DISPATCH_OVERHEAD)
         finally:
             self._dispatcher.release()
         yield from self._send_chunk(nbytes, chunk)

@@ -36,12 +36,38 @@ a convenience wrapper selecting the process-pool backend.
 Ties on runtime are broken toward the smallest ``(chunk_size,
 transfer_threads)`` (then mechanism name), so the chosen configuration is
 reproducible across search modes, backends, and entry orderings.
+
+Lower-bound pruning
+-------------------
+
+``Profiler(..., search="exhaustive", prune=True)`` skips configurations
+that provably cannot win.  For each candidate the profiler first runs the
+application under an *infinite-bandwidth* fabric — transfers complete
+instantly, so the run is far cheaper to simulate (no per-quantum link
+events) and its runtime is a true lower bound on the real measurement
+(removing all interconnect time can only shorten the schedule; with
+``infinite_bw`` the decoupled agents also drop their copy-bandwidth
+throttle).  A candidate whose floor *strictly* exceeds the best runtime
+measured so far is skipped: its real runtime would satisfy
+``runtime >= floor > incumbent``, so it can neither be the argmin nor tie
+the minimum.  Every entry the unpruned sweep would rank first — including
+all runtime ties — is therefore still measured, and
+:attr:`ProfileResult.best` is identical to brute force.
+
+Pruning is restricted to exhaustive search because coordinate search's
+second wave *depends on* the first wave's per-mechanism winners; removing
+first-wave points could redirect the second wave.  Candidates are visited
+from large chunk sizes and thread counts downward: big chunks land near
+the optimum quickly, giving a tight incumbent, and the configurations
+that then get skipped are exactly the small-chunk points that are the
+most expensive to simulate (most chunks, most events).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import functools
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -85,9 +111,16 @@ def _entry_order(entry: ProfileEntry) -> Tuple[float, int, int, str]:
 
 @dataclass
 class ProfileResult:
-    """Outcome of a profiling pass."""
+    """Outcome of a profiling pass.
+
+    ``pruned_configs``/``floor_runs`` are only non-zero for pruned
+    sweeps: how many candidates were skipped outright, and how many
+    infinite-bandwidth floor simulations were paid to decide.
+    """
 
     entries: List[ProfileEntry]
+    pruned_configs: int = 0
+    floor_runs: int = 0
 
     @property
     def best(self) -> ProfileEntry:
@@ -125,8 +158,8 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
 
     done = system.engine.process(driver(), name="app")
     system.run(until=done)
-    system.finish_observation()
-    system.finish_validation()
+    system._finish_observation()
+    system._finish_validation()
     return system.now
 
 
@@ -221,19 +254,26 @@ class Profiler:
                  thread_counts: Sequence[int] = PROFILE_THREAD_COUNTS,
                  mechanisms: Sequence[str] = ALL_MECHANISMS,
                  search: str = "coordinate",
-                 backend: Optional[ExecutorBackend] = None) -> None:
+                 backend: Optional[ExecutorBackend] = None,
+                 prune: bool = False) -> None:
         if search not in ("coordinate", "exhaustive"):
             raise ProactError(
                 f"unknown search mode {search!r}; "
                 "expected 'coordinate' or 'exhaustive'")
         if not chunk_sizes or not thread_counts or not mechanisms:
             raise ProactError("profiler needs non-empty sweep ranges")
+        if prune and search != "exhaustive":
+            raise ProactError(
+                "prune=True requires search='exhaustive': coordinate "
+                "search's second wave depends on unpruned first-wave "
+                "winners")
         self.platform = platform
         self.chunk_sizes = tuple(sorted(chunk_sizes))
         self.thread_counts = tuple(sorted(thread_counts))
         self.mechanisms = tuple(mechanisms)
         self.search = search
         self.backend = backend or SerialBackend()
+        self.prune = prune
 
     def sweep_signature(self) -> str:
         """Canonical identifier of this sweep's full search space.
@@ -247,8 +287,13 @@ class Profiler:
         chunks = ",".join(str(size) for size in self.chunk_sizes)
         threads = ",".join(str(count) for count in self.thread_counts)
         mechanisms = ",".join(self.mechanisms)
-        return (f"{self.search}|mech={mechanisms}|chunks={chunks}"
-                f"|threads={threads}")
+        signature = (f"{self.search}|mech={mechanisms}|chunks={chunks}"
+                     f"|threads={threads}")
+        if self.prune:
+            # A pruned sweep picks the same winner but records fewer
+            # entries, so it must not share cache hits with brute force.
+            signature += "|pruned"
+        return signature
 
     def profile(self, phase_builder: PhaseBuilder) -> ProfileResult:
         """Run the sweep for one application.
@@ -259,6 +304,8 @@ class Profiler:
         for coordinate search — the thread sweep at each mechanism's
         best granularity.
         """
+        if self.prune:
+            return self._profile_pruned(phase_builder)
         first_wave = {mechanism: self._first_wave(mechanism)
                       for mechanism in self.mechanisms}
         measured = self._split_by_mechanism(
@@ -276,6 +323,51 @@ class Profiler:
         return ProfileResult(entries=[
             entry for mechanism in self.mechanisms
             for entry in measured[mechanism]])
+
+    # ------------------------------------------------------------------
+    # Lower-bound pruning (exhaustive search only)
+    # ------------------------------------------------------------------
+    def _pruned_order(self, mechanism: str) -> List[ProactConfig]:
+        """The grid visited large-to-small so a tight incumbent forms
+        early and the expensive small-chunk simulations get skipped."""
+        if mechanism == MECH_INLINE:
+            return [ProactConfig(MECH_INLINE, self.chunk_sizes[0],
+                                 self.thread_counts[0])]
+        return [ProactConfig(mechanism, chunk_size, threads)
+                for chunk_size in reversed(self.chunk_sizes)
+                for threads in reversed(self.thread_counts)]
+
+    def _profile_pruned(self, phase_builder: PhaseBuilder) -> ProfileResult:
+        """Exhaustive sweep with the infinite-bandwidth lower bound.
+
+        Skips a candidate only when ``floor > incumbent`` *strictly*, so
+        every entry that could be the argmin — or tie it — is measured;
+        see the module docstring for the soundness argument.  Runs
+        in-process regardless of backend: the skip decisions form a
+        sequential dependency chain through the incumbent.
+        """
+        entries: List[ProfileEntry] = []
+        pruned = 0
+        floor_runs = 0
+        incumbent = math.inf
+        with suppress_observation():
+            for mechanism in self.mechanisms:
+                for config in self._pruned_order(mechanism):
+                    if entries:
+                        floor = run_phases(self.platform, config,
+                                           phase_builder, infinite_bw=True)
+                        floor_runs += 1
+                        if floor > incumbent:
+                            pruned += 1
+                            continue
+                    entry = measure_config(self.platform, config,
+                                           phase_builder)
+                    entries.append(entry)
+                    if entry.runtime < incumbent:
+                        incumbent = entry.runtime
+        self._observe_entries(entries)
+        return ProfileResult(entries=entries, pruned_configs=pruned,
+                             floor_runs=floor_runs)
 
     # ------------------------------------------------------------------
     # Wave planning
@@ -366,8 +458,10 @@ class ParallelProfiler(Profiler):
                  thread_counts: Sequence[int] = PROFILE_THREAD_COUNTS,
                  mechanisms: Sequence[str] = ALL_MECHANISMS,
                  search: str = "coordinate",
-                 jobs: int = 2) -> None:
+                 jobs: int = 2,
+                 prune: bool = False) -> None:
         super().__init__(platform, chunk_sizes=chunk_sizes,
                          thread_counts=thread_counts, mechanisms=mechanisms,
-                         search=search, backend=ProcessPoolBackend(jobs))
+                         search=search, backend=ProcessPoolBackend(jobs),
+                         prune=prune)
         self.jobs = jobs

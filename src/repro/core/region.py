@@ -26,6 +26,15 @@ from repro.runtime.kernels import KernelSpec
 
 MappingFactory = Callable[[int, int], BlockMapping]
 
+#: Memoized readiness schedules.  A profiler sweep rebuilds the same
+#: schedule for every phase repetition and for every thread count that
+#: shares a chunk size; the inputs below determine the result exactly
+#: (``KernelSpec`` is a frozen dataclass, mapping factories are pure
+#: functions of ``(num_ctas, num_chunks)``).  Cached lists are shared —
+#: callers must treat them as immutable.
+_SCHEDULE_CACHE: dict = {}
+_SCHEDULE_CACHE_MAX = 256
+
 
 @dataclass(frozen=True)
 class ChunkReadiness:
@@ -80,6 +89,12 @@ class ProactRegion:
         its schedule-last writer CTA; ``readiness_shape`` then skews the
         distribution toward the kernel end for random write orders.
         """
+        key = (self.mapping_factory, self.region_bytes, self.chunk_size,
+               self.readiness_shape, type(kernel), kernel,
+               kernel.concurrent_ctas(gpu), kernel.num_waves(gpu))
+        cached = _SCHEDULE_CACHE.get(key)
+        if cached is not None:
+            return cached
         mapping = self.mapping(kernel.num_ctas)
         last_writers = mapping.last_writer_of_chunk()
         schedule: List[ChunkReadiness] = []
@@ -90,6 +105,9 @@ class ProactRegion:
                 chunk=chunk, nbytes=self.chunk_bytes(chunk),
                 fraction=min(1.0, skewed)))
         schedule.sort(key=lambda item: item.fraction)
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        _SCHEDULE_CACHE[key] = schedule
         return schedule
 
     def milestone_fractions(self, schedule: Sequence[ChunkReadiness],

@@ -142,7 +142,7 @@ class ProactPhaseExecutor:
         self.instrument = instrument
         self._phase_index = 0
         if config.validate and not system.engine.sanitizer.enabled:
-            system.attach_validation()
+            system._attach_validation()
 
     def execute(self, works: Sequence[GpuPhaseWork]):
         """Run one phase; returns the completion process (PhaseResult)."""
@@ -355,7 +355,7 @@ class ProactPhaseExecutor:
             wire_payload, len(destinations), gpu.spec.mem_bandwidth)
         segments = min(INLINE_SEGMENTS, max(1, work.region_bytes // 4096))
         segment_work = compute_work / segments
-        yield engine.timeout(gpu.spec.kernel_launch_latency)
+        yield engine._sleep(gpu.spec.kernel_launch_latency)
         outcome.kernel_start = engine.now
         in_flight: List = []
         for segment in range(segments):

@@ -198,25 +198,19 @@ def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     """
     spec = get_spec(name)
     started = time.perf_counter()
-
-    def invoke() -> ExperimentResult:
-        if ctx.observe:
-            from repro.obs import capture
-            with capture() as observation:
-                observed = spec.run(ctx)
-            observed.trace = observation.chrome_trace()
-            observed.metrics = observation.metrics.snapshot()
-            return observed
-        return spec.run(ctx)
-
+    # One Session per experiment carries the context's observe/validate
+    # policy; its ambient scopes wrap the harness exactly as the old
+    # nested capture()/validation() blocks did.
+    from repro.api import Session
+    session = Session(trace=ctx.observe, validate=ctx.validate)
     try:
+        with session.scope():
+            result = spec.run(ctx)
+        if ctx.observe:
+            result.trace = session.chrome_trace()
+            result.metrics = session.metrics.snapshot()
         if ctx.validate:
-            from repro.validate import validation
-            with validation() as scope:
-                result = invoke()
-            result.validation = scope.summary()
-        else:
-            result = invoke()
+            result.validation = session.validation_summary()
     except Exception as exc:  # noqa: BLE001 - suite must outlive one failure
         result = ExperimentResult.failed(name, spec.label, exc)
     result.elapsed = time.perf_counter() - started

@@ -190,7 +190,7 @@ def _run_with_fabric(paradigm: Paradigm, workload: Workload,
     driver = system.engine.process(
         paradigm._drive(system, workload, phases, result))
     system.run(until=driver)
-    system.finish_observation()
+    system._finish_observation()
     lanes = trace_link_intervals(system.tracer)
     mean_util = (sum(stats.utilization(system.now)
                      for stats in lanes.values()) / len(lanes)

@@ -110,8 +110,13 @@ class FluidShare:
         self.name = name
         self._tasks: List[FluidTask] = []
         self._last_update = engine.now
-        self._epoch = 0
         self.total_service = 0.0
+        # The currently-armed wakeup: the absolute instant it fires at and
+        # a generation number.  A firing wakeup whose generation does not
+        # match is stale (superseded by a later state change) and ignored.
+        self._armed_time: float = math.nan
+        self._armed_gen = 0
+        self._gen = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,6 +167,10 @@ class FluidShare:
             raise SimulationError(f"task demand must be > 0: {demand}")
         if task not in self._tasks:
             raise SimulationError(f"task {task.name!r} is not running here")
+        if demand == task.demand:
+            # No rate actually changes, so the armed wakeup (which fires at
+            # the next target-crossing instant) remains exactly right.
+            return
         self._advance()
         task.demand = demand
         self._rebalance()
@@ -201,8 +210,14 @@ class FluidShare:
             task.done.succeed(task)
 
     def _rebalance(self) -> None:
-        """Recompute rates and schedule the next interesting instant."""
-        self._epoch += 1
+        """Recompute rates and schedule the next interesting instant.
+
+        Re-solves are batched by *fire time*: if the armed wakeup already
+        fires at exactly the instant this re-solve wants, it is kept
+        instead of being superseded by a fresh timeout.  Rates were just
+        recomputed above, so whichever wakeup fires simply credits
+        service at the then-current rates — the same work either way.
+        """
         self._rates()
         horizon = math.inf
         for task in self._tasks:
@@ -211,14 +226,22 @@ class FluidShare:
                 continue
             horizon = min(horizon, max(remaining, 0.0) / task._rate)
         if math.isinf(horizon):
+            # Nothing finite to wait for; any pending wakeup is stale.
+            self._armed_time = math.nan
             return
-        epoch = self._epoch
-        wakeup = self.engine.timeout(horizon)
-        assert wakeup.callbacks is not None
-        wakeup.callbacks.append(lambda _event: self._on_wakeup(epoch))
+        fire = self.engine.now + horizon
+        if fire == self._armed_time:
+            return  # the pending wakeup already covers this instant
+        self._gen += 1
+        gen = self._gen
+        self._armed_time = fire
+        self._armed_gen = gen
+        wakeup = self.engine._sleep(horizon)
+        wakeup.callbacks.append(lambda _event: self._on_wakeup(gen))
 
-    def _on_wakeup(self, epoch: int) -> None:
-        if epoch != self._epoch:
+    def _on_wakeup(self, gen: int) -> None:
+        if gen != self._armed_gen:
             return  # a newer state change superseded this wakeup
+        self._armed_time = math.nan
         self._advance()
         self._rebalance()

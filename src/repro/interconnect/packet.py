@@ -52,6 +52,18 @@ class PacketFormat:
         if self.max_payload % self.payload_granule != 0:
             raise ConfigurationError(
                 "max payload must be a multiple of the payload granule")
+        # Per-(message, access) wire-byte memo.  The hot path asks for the
+        # same handful of sizes (the link quantum, chunk tails, fixed agent
+        # access sizes) millions of times per sweep, and the module-level
+        # format singletons below keep this table warm across sweep points.
+        object.__setattr__(self, "_memo", {})
+
+    def __reduce__(self):
+        # Re-build from the four defining fields so pickles shipped to
+        # process-pool workers do not drag the memo table along.
+        return (PacketFormat,
+                (self.name, self.header_bytes, self.payload_granule,
+                 self.max_payload))
 
     def packets_for(self, payload_bytes: int) -> int:
         """Number of packets needed to carry one access of this size."""
@@ -91,6 +103,10 @@ class PacketFormat:
         ``access_size`` bytes (e.g. 4-byte scattered stores vs. 128-byte
         coalesced stores) pays packet overhead once per access.
         """
+        key = (message_bytes, access_size)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         if message_bytes < 0:
             raise ConfigurationError(f"negative message size: {message_bytes}")
         if access_size < 1:
@@ -101,6 +117,7 @@ class PacketFormat:
         total = full_accesses * self.wire_bytes(access_size)
         if tail:
             total += self.wire_bytes(tail)
+        self._memo[key] = total
         return total
 
 

@@ -57,6 +57,12 @@ class Route:
         self.links = tuple(links)
         self.latency = latency
         self._quantum = min(link.quantum for link in self.links)
+        self._xfer_name = f"xfer:{src}->{dst}"
+        self._quantum_name = f"quantum:{src}->{dst}"
+        # access_size -> per-hop (wire, service) plan for a full quantum;
+        # every quantum except a possible tail is exactly ``_quantum``
+        # bytes, so the per-hop framing and service time repeat verbatim.
+        self._full_plan_memo: dict = {}
 
     @property
     def bottleneck_bandwidth(self) -> float:
@@ -75,29 +81,52 @@ class Route:
             raise ConfigurationError(f"access size must be >= 1: {access_size}")
         return self.engine.process(
             self._transfer(payload_bytes, access_size),
-            name=f"xfer:{self.src}->{self.dst}",
+            name=self._xfer_name,
         )
 
-    def _move_quantum(self, quantum: int, access_size: int, gates, dones):
+    def _hop_plan(self, quantum: int, access_size: int):
+        """Per-hop ``(link, wire, service)`` for one ``quantum``-byte move.
+
+        Each link frames the quantum with its own protocol overhead (a
+        throttle pseudo-link has none; a PCIe link pays headers).
+        """
+        plan = []
+        for link in self.links:
+            wire = link.format.message_wire_bytes(quantum, access_size)
+            plan.append((link, wire, link.service_time(wire)))
+        return tuple(plan)
+
+    def _move_quantum(self, quantum: int, plan, gates, dones):
         """One quantum's journey across every hop, gated by its
         predecessor quantum so per-hop FIFO order is preserved."""
-        for hop, link in enumerate(self.links):
+        engine = self.engine
+        for hop, (link, wire, service) in enumerate(plan):
             if gates is not None:
                 yield gates[hop]
-            # Each link frames the quantum with its own protocol overhead
-            # (a throttle pseudo-link has none; a PCIe link pays headers).
-            wire = link.format.message_wire_bytes(quantum, access_size)
             yield link.arbiter.request()
-            service_start = self.engine.now
-            yield self.engine.timeout(link.service_time(wire))
-            link.account(service_start, self.engine.now, quantum, wire)
+            service_start = engine.now
+            yield engine._sleep(service)
+            link.account(service_start, engine.now, quantum, wire)
             link.arbiter.release()
             dones[hop].succeed()
 
     def _transfer(self, payload_bytes: int, access_size: int):
-        start_time = self.engine.now
+        engine = self.engine
+        links = self.links
+        start_time = engine.now
         total_wire = 0
         remaining = payload_bytes
+        step = self._quantum
+        # The slowest hop's framing and service time for a full quantum,
+        # computed once: all quanta except a possible tail are exactly
+        # ``step`` bytes, so their per-hop plan repeats verbatim.
+        full_plan = self._full_plan_memo.get(access_size)
+        if full_plan is None and remaining >= step:
+            full_plan = self._full_plan_memo[access_size] = (
+                self._hop_plan(step, access_size))
+        step_wire = (max(wire for _link, wire, _svc in full_plan)
+                     if remaining >= step else 0)
+        quantum_name = self._quantum_name
         # Quanta pipeline across hops: quantum k occupies hop h while
         # quantum k+1 occupies hop h-1, so a multi-hop route still moves
         # data at the slowest hop's rate while leaving faster hops free
@@ -105,21 +134,25 @@ class Route:
         gates = None
         last_quantum = None
         while remaining > 0:
-            quantum = min(remaining, self._quantum)
-            total_wire += max(
-                link.format.message_wire_bytes(quantum, access_size)
-                for link in self.links)
-            dones = [Event(self.engine) for _ in self.links]
-            last_quantum = self.engine.process(
-                self._move_quantum(quantum, access_size, gates, dones),
-                name=f"quantum:{self.src}->{self.dst}")
+            if remaining >= step:
+                quantum = step
+                plan = full_plan
+                total_wire += step_wire
+            else:
+                quantum = remaining
+                plan = self._hop_plan(quantum, access_size)
+                total_wire += max(wire for _link, wire, _svc in plan)
+            dones = [Event(engine) for _ in links]
+            last_quantum = engine.process(
+                self._move_quantum(quantum, plan, gates, dones),
+                name=quantum_name)
             gates = dones
             remaining -= quantum
         if last_quantum is not None:
             yield last_quantum
         if self.latency > 0 and payload_bytes > 0:
-            yield self.engine.timeout(self.latency)
-        tracer = self.engine.tracer
+            yield engine._sleep(self.latency)
+        tracer = engine.tracer
         if tracer.enabled:
             tracer.span(start_time, self.engine.now,
                         f"gpu{self.src}.transfer", f"->gpu{self.dst}",

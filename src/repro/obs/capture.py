@@ -86,7 +86,19 @@ def capture(trace: bool = True,
             fig9_overlap.run()
         write_chrome_trace("trace.json", obs.chrome_trace())
     """
-    observation = Observation(trace=trace, verbose=verbose)
+    with observing(Observation(trace=trace, verbose=verbose)) as observation:
+        yield observation
+
+
+@contextmanager
+def observing(observation: Observation) -> Iterator[Observation]:
+    """Install an *existing* observation as the ambient scope.
+
+    :func:`capture` creates a fresh :class:`Observation` per scope; a
+    :class:`repro.api.Session` instead owns one observation for its whole
+    lifetime and re-installs it around every entry point, so traces and
+    metrics from successive runs accumulate in one place.
+    """
     token = _ACTIVE.set(observation)
     try:
         yield observation

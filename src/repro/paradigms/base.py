@@ -57,8 +57,8 @@ class Paradigm:
             self._drive(system, workload, phases, result),
             name=f"{self.name}:{workload.name}")
         system.run(until=driver)
-        system.finish_observation()
-        system.finish_validation()
+        system._finish_observation()
+        system._finish_validation()
         result.runtime = system.now
         result.bytes_moved = system.fabric.total_goodput_bytes()
         result.wire_bytes = system.fabric.total_wire_bytes()

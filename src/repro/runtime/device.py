@@ -49,7 +49,7 @@ class KernelLaunch:
     def _run(self):
         device = self.device
         engine = device.system.engine
-        yield engine.timeout(device.gpu.spec.kernel_launch_latency)
+        yield engine._sleep(device.gpu.spec.kernel_launch_latency)
         self.started_at = engine.now
         task = device.gpu.compute.launch(
             self.name, self.work, self._demand, self._milestones)
@@ -116,7 +116,7 @@ class Device:
         engine = self.system.engine
         yield self.dma_engine.request()
         try:
-            yield engine.timeout(self.spec.dma_init_overhead)
+            yield engine._sleep(self.spec.dma_init_overhead)
             fmt = self.system.fabric.spec.fmt
             receipt = yield self.system.fabric.send(
                 self.device_id, dst.device_id, nbytes,
@@ -140,7 +140,7 @@ class Device:
         engine = self.system.engine
         yield self.cdp_launcher.request()
         try:
-            yield engine.timeout(self.spec.cdp_launch_latency)
+            yield engine._sleep(self.spec.cdp_launch_latency)
         finally:
             self.cdp_launcher.release()
         self.cdp_launch_count += 1

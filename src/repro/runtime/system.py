@@ -12,6 +12,7 @@ profiler run, end-to-end application — starts by building a ``System``.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
@@ -85,7 +86,18 @@ class System:
     @classmethod
     def from_name(cls, name: str, infinite_bw: bool = False,
                   num_gpus: Optional[int] = None) -> "System":
-        """Build one of the paper's Table I systems by name."""
+        """Build one of the paper's Table I systems by name.
+
+        .. deprecated:: 1.1
+            Use :class:`repro.api.Session` —
+            ``Session(name).system()`` builds the same system and wires
+            the session's observability/validation policy in.
+        """
+        warnings.warn(
+            "System.from_name() is deprecated; use "
+            "repro.api.Session(name).system() (or System(platform_by_name"
+            "(name)) for scope-free construction)",
+            DeprecationWarning, stacklevel=2)
         return cls(platform_by_name(name), infinite_bw=infinite_bw,
                    num_gpus=num_gpus)
 
@@ -98,7 +110,7 @@ class System:
         """Whether this system runs under the readiness sanitizer."""
         return self.engine.sanitizer.enabled
 
-    def attach_validation(self) -> ReadinessSanitizer:
+    def _attach_validation(self) -> ReadinessSanitizer:
         """Install a fresh sanitizer + conservation checker on this system.
 
         Used by :class:`~repro.core.runtime.ProactPhaseExecutor` when its
@@ -111,7 +123,21 @@ class System:
             self.checker = ConservationChecker(self)
         return self.engine.sanitizer
 
-    def finish_validation(self) -> None:
+    def attach_validation(self) -> ReadinessSanitizer:
+        """Deprecated public alias of the validation installer.
+
+        .. deprecated:: 1.1
+            Use :class:`repro.api.Session` with ``validate=True`` —
+            every system built through the session is sanitized
+            automatically.
+        """
+        warnings.warn(
+            "System.attach_validation() is deprecated; build the system "
+            "through repro.api.Session(..., validate=True) instead",
+            DeprecationWarning, stacklevel=2)
+        return self._attach_validation()
+
+    def _finish_validation(self) -> None:
         """End-of-run audit: conservation over every link, no open chunks.
 
         No-op when the system is not validating; safe to call from every
@@ -119,6 +145,20 @@ class System:
         """
         if self.checker is not None:
             self.checker.check(self.now)
+
+    def finish_validation(self) -> None:
+        """Deprecated public alias of the end-of-run validation audit.
+
+        .. deprecated:: 1.1
+            Session entry points (``run``/``profile``/``collective``)
+            finish validation themselves; only hand-driven systems need
+            this, via the underscore internals.
+        """
+        warnings.warn(
+            "System.finish_validation() is deprecated; use repro.api."
+            "Session entry points, which finish validation automatically",
+            DeprecationWarning, stacklevel=2)
+        self._finish_validation()
 
     @property
     def now(self) -> float:
@@ -164,6 +204,20 @@ class System:
         return executor.launch(schedule)
 
     def finish_observation(self) -> None:
+        """Deprecated public alias of the end-of-run observability flush.
+
+        .. deprecated:: 1.1
+            Session entry points (``run``/``profile``/``collective``)
+            flush observability themselves; only hand-driven systems
+            need this, via the underscore internals.
+        """
+        warnings.warn(
+            "System.finish_observation() is deprecated; use repro.api."
+            "Session entry points, which flush observability automatically",
+            DeprecationWarning, stacklevel=2)
+        self._finish_observation()
+
+    def _finish_observation(self) -> None:
         """Flush end-of-run observability: link lanes and run totals.
 
         Link occupancy is accumulated as intervals during the run (one

@@ -63,7 +63,7 @@ class UnifiedMemoryModel:
 
     def _prefetch(self, dst: "Device", src: "Device", nbytes: int):
         engine = self.system.engine
-        yield engine.timeout(dst.spec.dma_init_overhead)
+        yield engine._sleep(dst.spec.dma_init_overhead)
         if nbytes > 0:
             fmt = self.system.fabric.spec.fmt
             yield self.system.fabric.send(
@@ -91,7 +91,7 @@ class UnifiedMemoryModel:
                 remaining / UM_FAULT_PAGE_SIZE))
             batch_bytes = min(remaining, batch_pages * UM_FAULT_PAGE_SIZE)
             # One fault latency covers the whole overlapped batch.
-            yield engine.timeout(dst.spec.um_fault_latency)
+            yield engine._sleep(dst.spec.um_fault_latency)
             yield fabric.send(src.device_id, dst.device_id, batch_bytes,
                               access_size=UM_FAULT_PAGE_SIZE)
             remaining -= batch_bytes
@@ -110,7 +110,7 @@ class UnifiedMemoryModel:
 
     def _legacy_mirror(self, dst: "Device", src: "Device", nbytes: int):
         engine = self.system.engine
-        yield engine.timeout(dst.spec.dma_init_overhead * 2)  # two hops
+        yield engine._sleep(dst.spec.dma_init_overhead * 2)  # two hops
         if nbytes > 0:
             fmt = self.system.fabric.spec.fmt
             # Host staging halves effective bandwidth: send the wire-time

@@ -15,20 +15,43 @@ Typical use::
     proc = engine.process(worker(engine))
     engine.run()
     assert proc.value == "done"
+
+Hot-path engineering
+--------------------
+
+The engine is the inner loop of every sweep the profiler runs, so it is
+written for constant-factor speed without changing a single simulated
+result:
+
+* **Pooled internal events** — timeouts yielded by engine-internal hot
+  paths (:meth:`_sleep`) and the per-resume bookkeeping events of
+  :class:`~repro.sim.process.Process` are recycled through free lists
+  instead of allocated fresh; recycling happens in :meth:`step` after
+  their callbacks have run, so nothing observable changes.
+* **Lazy observability guards** — the verbose per-event trace check is
+  a single cached boolean (refreshed whenever ``engine.tracer`` is
+  assigned), so a NULL observer costs zero attribute chases per event.
+* **Single-event waits** — ``all_of``/``any_of`` over exactly one event
+  return a :class:`~repro.sim.events._SingleWait` that skips the
+  condition machinery while firing with the identical value.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import (
     PRIORITY_NORMAL,
+    PRIORITY_URGENT,
     AllOf,
     AnyOf,
     Event,
     Timeout,
+    _PooledEvent,
+    _PooledTimeout,
+    _SingleWait,
 )
 from repro.sim.process import Process
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -67,6 +90,21 @@ class Engine:
         self.sanitizer = sanitizer
         self.events_scheduled = 0
         self.events_fired = 0
+        # Free lists for the engine-internal recyclable event classes.
+        self._timeout_pool: List[_PooledTimeout] = []
+        self._event_pool: List[_PooledEvent] = []
+
+    @property
+    def tracer(self) -> Tracer:
+        """The engine's tracer (assignment refreshes the verbose guard)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Tracer) -> None:
+        self._tracer = value
+        # Cached so the per-event hot path pays one attribute load, not
+        # an attribute chase through a (usually NULL) tracer.
+        self._trace_events = bool(value.enabled and value.verbose)
 
     @property
     def now(self) -> float:
@@ -89,16 +127,68 @@ class Engine:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def _sleep(self, delay: float) -> Timeout:
+        """A pooled valueless timeout for engine-internal hot paths.
+
+        The returned timeout is recycled the moment its callbacks have
+        run, so it must be consumed by exactly one waiter (a direct
+        ``yield`` from a process, or a single appended callback) and
+        never stored, inspected afterwards, or placed in a condition.
+        Public code should use :meth:`timeout`.
+        """
+        pool = self._timeout_pool
+        if pool:
+            out = pool.pop()
+            out.callbacks = []
+            out._value = None
+            out._ok = True
+            out._triggered = True
+            out._processed = False
+            out._defused = False
+            out.delay = delay
+            self.schedule(out, delay=delay)
+            return out
+        return _PooledTimeout(self, delay)
+
+    def _resume_event(self, callback, ok: bool, value: Any,
+                      defused: bool) -> Event:
+        """A pooled, already-triggered event that schedules ``callback``.
+
+        Backs process start, bounce-after-processed-target, and
+        interrupt wake-ups — all scheduled urgently at the current time.
+        Same recycling contract as :meth:`_sleep`.
+        """
+        pool = self._event_pool
+        if pool:
+            out = pool.pop()
+            out.callbacks = [callback]
+        else:
+            out = _PooledEvent(self)
+            out.callbacks.append(callback)
+        out._value = value
+        out._ok = ok
+        out._triggered = True
+        out._processed = False
+        out._defused = defused
+        self.schedule(out, delay=0.0, priority=PRIORITY_URGENT)
+        return out
+
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
 
-    def all_of(self, events: Iterable[Event]) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> Event:
         """Create an event that fires when all ``events`` have fired."""
+        events = list(events)
+        if len(events) == 1:
+            return _SingleWait(self, events[0])
         return AllOf(self, events)
 
-    def any_of(self, events: Iterable[Event]) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> Event:
         """Create an event that fires when any of ``events`` has fired."""
+        events = list(events)
+        if len(events) == 1:
+            return _SingleWait(self, events[0])
         return AnyOf(self, events)
 
     # ------------------------------------------------------------------
@@ -109,13 +199,13 @@ class Engine:
         """Place a triggered event on the heap ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        heapq.heappush(
+        _heappush(
             self._heap, (self._now + delay, priority, self._sequence, event))
         self._sequence += 1
         self.events_scheduled += 1
-        if self.tracer.enabled and self.tracer.verbose:
-            self.tracer.record(self._now, "engine", "schedule",
-                               payload=type(event).__name__)
+        if self._trace_events:
+            self._tracer.record(self._now, "engine", "schedule",
+                                payload=type(event).__name__)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -144,32 +234,45 @@ class Engine:
 
     def step(self) -> None:
         """Process the single next event on the heap."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise self._attach_time(
                 DeadlockError(f"no scheduled events remain "
                               f"(t={self._now:.9g}s)"))
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, _priority, _seq, event = _heappop(heap)
         if when < self._now:
             raise self._attach_time(SimulationError(
                 "event heap corrupted: time went backwards"))
         self._now = when
         self.events_fired += 1
-        if self.tracer.enabled and self.tracer.verbose:
-            self.tracer.record(when, "engine", "fire",
-                               payload=type(event).__name__)
+        if self._trace_events:
+            self._tracer.record(when, "engine", "fire",
+                                payload=type(event).__name__)
         callbacks = event.callbacks
-        event._mark_processed()
+        event._processed = True
+        event.callbacks = None
         try:
             if callbacks:
                 for callback in callbacks:
                     callback(event)
-            elif not event.ok and not event._defused:
-                # An unhandled failure with nobody waiting must not pass
-                # silently.
-                raise event.value
+            else:
+                ok = event._ok
+                if ok is None:
+                    raise SimulationError("event has not been triggered yet")
+                if not ok and not event._defused:
+                    # An unhandled failure with nobody waiting must not
+                    # pass silently.
+                    raise event._value
         except BaseException as exc:
             self._attach_time(exc)
             raise
+        if event._recycle:
+            # Engine-internal single-consumer event: its callbacks have
+            # run and nobody may look at it again — reuse the instance.
+            if type(event) is _PooledTimeout:
+                self._timeout_pool.append(event)
+            else:
+                self._event_pool.append(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -178,9 +281,11 @@ class Engine:
         (run until that simulated time), or an :class:`Event` (run until it
         is processed, returning its value).
         """
+        step = self.step
         if until is None:
-            while self._heap:
-                self.step()
+            heap = self._heap
+            while heap:
+                step()
             return None
         if isinstance(until, Event):
             return self._run_until_event(until)
@@ -188,18 +293,21 @@ class Engine:
         if deadline < self._now:
             raise SimulationError(
                 f"until={deadline} is in the past (now={self._now})")
-        while self._heap and self.peek() <= deadline:
-            self.step()
+        heap = self._heap
+        while heap and heap[0][0] <= deadline:
+            step()
         self._now = deadline
         return None
 
     def _run_until_event(self, event: Event) -> Any:
-        while not event.processed:
-            if not self._heap:
+        step = self.step
+        heap = self._heap
+        while not event._processed:
+            if not heap:
                 raise self._attach_time(DeadlockError(
                     f"event queue drained before {event!r} was processed "
                     f"(t={self._now:.9g}s)"))
-            self.step()
+            step()
         if not event.ok:
             raise self._attach_time(event.value)
         return event.value

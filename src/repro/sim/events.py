@@ -31,6 +31,11 @@ class Event:
     __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered",
                  "_processed", "_defused")
 
+    #: Class-level recycling flag.  Only the engine-internal pooled
+    #: subclasses below override it; the engine returns such instances to
+    #: a free list right after their callbacks have run.
+    _recycle = False
+
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -110,6 +115,64 @@ class Timeout(Event):
         self._value = value
         self._triggered = True
         engine.schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+
+
+class _PooledTimeout(Timeout):
+    """A recyclable :class:`Timeout` for engine-internal waits.
+
+    Created only through :meth:`Engine._sleep`.  The contract is strict:
+    a pooled timeout may be yielded directly by exactly one process (or
+    given exactly one callback) and must never be stored, inspected
+    after it fires, or placed into an :class:`AllOf`/:class:`AnyOf` —
+    the engine reuses the instance as soon as its callbacks have run.
+    """
+
+    __slots__ = ()
+
+    _recycle = True
+
+
+class _PooledEvent(Event):
+    """A recyclable already-triggered event for process bookkeeping.
+
+    Backs the engine-internal resume events (process start, bounce after
+    a processed target, interrupt wake-ups).  Same contract as
+    :class:`_PooledTimeout`: single consumer, never retained.
+    """
+
+    __slots__ = ()
+
+    _recycle = True
+
+
+class _SingleWait(Event):
+    """Fast path for ``all_of``/``any_of`` over exactly one event.
+
+    Behaviourally identical to :class:`AllOf`/:class:`AnyOf` with a
+    single constituent — fires with ``{event: value}``, propagates the
+    constituent's failure — but skips the condition machinery (list
+    copy, per-event engine check, remaining counter, value scan).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, engine: "Engine", event: Event) -> None:
+        super().__init__(engine)
+        if event.engine is not engine:
+            raise SimulationError("cannot mix events from different engines")
+        self._event = event
+        if event._processed:
+            self._on_event(event)
+        else:
+            event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed({event: event._value})
 
 
 class ConditionEvent(Event):

@@ -5,6 +5,11 @@ objects.  Each time a yielded event fires, the engine resumes the generator
 with the event's value (or throws the event's exception into it).  When the
 generator returns, the process — itself an event — succeeds with the return
 value, so other processes can wait on it.
+
+The bookkeeping events that drive a process (its start kick-off, the bounce
+used when a yielded event already fired, and interrupt wake-ups) go through
+``engine._resume_event``, which recycles them from a pool: they are strictly
+single-consumer and invisible outside this module.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import typing
 from typing import Any, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import PRIORITY_URGENT, Event
+from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -47,13 +52,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         # Kick off the process via an immediately-triggered initialization
         # event so that process start is itself an ordered simulation event.
-        start = Event(engine)
-        start._ok = True
-        start._value = None
-        start._triggered = True
-        assert start.callbacks is not None
-        start.callbacks.append(self._resume)
-        engine.schedule(start, delay=0.0, priority=PRIORITY_URGENT)
+        engine._resume_event(self._resume, True, None, False)
 
     @property
     def is_alive(self) -> bool:
@@ -75,25 +74,19 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        wakeup = Event(self.engine)
-        wakeup._ok = False
-        wakeup._value = Interrupt(cause)
-        wakeup._defused = True
-        wakeup._triggered = True
-        assert wakeup.callbacks is not None
-        wakeup.callbacks.append(self._resume)
-        self.engine.schedule(wakeup, delay=0.0, priority=PRIORITY_URGENT)
+        self.engine._resume_event(self._resume, False, Interrupt(cause), True)
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
-        previous = self.engine._active_process
-        self.engine._active_process = self
+        engine = self.engine
+        previous = engine._active_process
+        engine._active_process = self
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
             else:
                 trigger._defused = True
-                target = self._generator.throw(trigger.value)
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -101,37 +94,22 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.engine._active_process = previous
+            engine._active_process = previous
         if not isinstance(target, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}")
             # Throw the error back into the generator so the traceback
             # points at the offending yield.
-            bounce = Event(self.engine)
-            bounce._ok = False
-            bounce._value = error
-            bounce._defused = True
-            bounce._triggered = True
-            assert bounce.callbacks is not None
-            bounce.callbacks.append(self._resume)
-            self.engine.schedule(bounce, delay=0.0, priority=PRIORITY_URGENT)
+            engine._resume_event(self._resume, False, error, True)
             return
-        if target.engine is not self.engine:
+        if target.engine is not engine:
             raise SimulationError("process yielded an event from another engine")
-        if target.processed:
+        if target._processed:
             # Already fired: resume immediately (same timestamp).
-            bounce = Event(self.engine)
-            bounce._ok = target.ok
-            bounce._value = target.value
-            if not target.ok:
-                bounce._defused = True
-            bounce._triggered = True
-            assert bounce.callbacks is not None
-            bounce.callbacks.append(self._resume)
-            self.engine.schedule(bounce, delay=0.0, priority=PRIORITY_URGENT)
+            ok = target._ok
+            engine._resume_event(self._resume, ok, target._value, not ok)
             return
         self._waiting_on = target
-        assert target.callbacks is not None
         target.callbacks.append(self._resume)
 
     def __repr__(self) -> str:

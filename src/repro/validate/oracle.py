@@ -226,8 +226,8 @@ class DifferentialOracle:
                     invariant="schedule-verifier-disagreement") from exc
             proc = CollectiveExecutor(system).launch(schedule)
             system.run(until=proc)
-            system.finish_observation()
-            system.finish_validation()
+            system._finish_observation()
+            system._finish_validation()
             result = proc.value
 
         for gpu in range(schedule.num_gpus):

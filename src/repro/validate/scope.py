@@ -66,7 +66,19 @@ def validation() -> Iterator[Validation]:
                                             # any protocol violation
         print(val.summary())
     """
-    scope = Validation()
+    with validating(Validation()) as scope:
+        yield scope
+
+
+@contextmanager
+def validating(scope: Validation) -> Iterator[Validation]:
+    """Install an *existing* validation as the ambient scope.
+
+    :func:`validation` creates a fresh :class:`Validation` per scope; a
+    :class:`repro.api.Session` instead owns one for its whole lifetime
+    and re-installs it around every entry point, so the violation
+    summary accumulates across successive runs.
+    """
     token = _ACTIVE.set(scope)
     try:
         yield scope

@@ -1,0 +1,123 @@
+"""Public-API surface tests: snapshot + deprecation contract.
+
+The checked-in snapshot (``tests/data/public_api.json``) records the
+package's advertised surface — ``repro.__all__`` plus every public
+method signature on :class:`repro.api.Session`.  CI fails when the
+surface drifts, so renames and signature changes are always a conscious,
+reviewed decision.  After an intentional change, regenerate with::
+
+    PYTHONPATH=src python tests/test_public_api.py --regen
+
+The deprecation tests pin the compatibility contract of PR 5's facade
+redesign: the legacy entry points still work but warn, and the
+supported paths stay warning-free.
+"""
+
+import inspect
+import json
+import pathlib
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+from repro.api import Session
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "data" / "public_api.json"
+
+
+def current_surface():
+    """The live public surface, in the snapshot's JSON shape."""
+    methods = {}
+    for name, member in inspect.getmembers(Session):
+        if name.startswith("_") and name != "__init__":
+            continue
+        if callable(member):
+            methods[name] = str(inspect.signature(member))
+        elif isinstance(inspect.getattr_static(Session, name), property):
+            methods[name] = "<property>"
+    return {
+        "repro_all": sorted(repro.__all__),
+        "repro_api_all": sorted(repro.api.__all__),
+        "session": methods,
+    }
+
+
+def load_snapshot():
+    return json.loads(SNAPSHOT_PATH.read_text())
+
+
+def test_snapshot_file_exists():
+    assert SNAPSHOT_PATH.exists(), (
+        "missing public-API snapshot; generate it with "
+        "`PYTHONPATH=src python tests/test_public_api.py --regen`")
+
+
+def test_public_surface_matches_snapshot():
+    """Any drift in repro.__all__ or Session's signatures fails here."""
+    snapshot = load_snapshot()
+    surface = current_surface()
+    assert surface == snapshot, (
+        "public API surface drifted from tests/data/public_api.json; "
+        "if the change is intentional, regenerate the snapshot with "
+        "`PYTHONPATH=src python tests/test_public_api.py --regen` "
+        "and include it in the same commit")
+
+
+def test_all_names_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+def test_session_is_front_door():
+    assert repro.Session is Session
+    assert repro.__all__[0] == "Session"
+
+
+# ----------------------------------------------------------------------
+# Deprecation contract
+# ----------------------------------------------------------------------
+def test_from_name_warns_but_works():
+    with pytest.warns(DeprecationWarning, match="Session"):
+        system = repro.System.from_name("4x_volta")
+    assert system.num_gpus == 4
+
+
+def test_attach_validation_warns_but_works():
+    system = repro.System(repro.platform_by_name("4x_volta"))
+    with pytest.warns(DeprecationWarning, match="validate=True"):
+        sanitizer = system.attach_validation()
+    assert sanitizer.enabled
+    assert system.validating
+
+
+def test_finish_hooks_warn_but_work():
+    system = repro.System(repro.platform_by_name("4x_volta"))
+    with pytest.warns(DeprecationWarning, match="Session"):
+        system.finish_observation()
+    with pytest.warns(DeprecationWarning, match="Session"):
+        system.finish_validation()
+
+
+def test_session_paths_do_not_warn():
+    """The supported facade never routes through deprecated shims."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session = Session("4x_volta", validate=True, trace=True)
+        system = session.system()
+        kernel = system.devices[0].launch_kernel("k", work=1e-5)
+        system.run(until=kernel.done)
+        session.finish(system)
+        assert session.validation_summary()["violations"] == 0
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(
+            json.dumps(current_surface(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT_PATH}")
+    else:
+        print(__doc__)
