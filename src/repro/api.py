@@ -188,6 +188,7 @@ class Session:
             return instance.execute(workload, self.platform)
 
     def profile(self, workload, *, search: str = "coordinate",
+                strategy: Optional[str] = None,
                 prune: bool = False,
                 chunk_sizes: Optional[Sequence[int]] = None,
                 thread_counts: Optional[Sequence[int]] = None,
@@ -195,10 +196,14 @@ class Session:
                 jobs: Optional[int] = None):
         """Run PROACT's compile-time profiler for ``workload``.
 
-        ``prune=True`` (exhaustive search only) enables the
-        infinite-bandwidth lower-bound early exit — same argmin, fewer
-        full measurements.  ``jobs`` selects the process-pool backend.
-        Returns a :class:`~repro.core.profiler.ProfileResult`.
+        ``strategy`` names the search mode (``"coordinate"``,
+        ``"exhaustive"``, or ``"search"`` for the floor-seeded
+        autotuner) and takes precedence over the older ``search``
+        keyword, which remains as an alias.  ``prune=True`` (exhaustive
+        search only) enables the infinite-bandwidth lower-bound early
+        exit — same argmin, fewer full measurements.  ``jobs`` selects
+        the warm-worker process-pool backend.  Returns a
+        :class:`~repro.core.profiler.ProfileResult`.
         """
         from repro.core.config import (PROFILE_CHUNK_SIZES,
                                        PROFILE_THREAD_COUNTS)
@@ -208,7 +213,8 @@ class Session:
             chunk_sizes=chunk_sizes or PROFILE_CHUNK_SIZES,
             thread_counts=thread_counts or PROFILE_THREAD_COUNTS,
             mechanisms=mechanisms or ALL_MECHANISMS,
-            search=search, prune=prune)
+            search=strategy if strategy is not None else search,
+            prune=prune)
         if jobs is not None and jobs > 1:
             profiler = ParallelProfiler(self.platform, jobs=jobs, **kwargs)
         else:

@@ -7,31 +7,48 @@ with the best end-to-end runtime.  The result is then baked into the
 compiled configuration, exactly as the paper's framework emits the chosen
 parameters into the generated code.
 
-Two search modes:
+Three search modes:
 
 * ``"exhaustive"`` — the paper's brute force over the full grid;
 * ``"coordinate"`` (default) — sweep granularity at the largest thread
   count, then threads at the best granularity; dramatically cheaper and
   picks the same optimum whenever the two knobs are separable (they are,
   in all the paper's workloads: granularity trades initiation against
-  tail, threads only gate copy bandwidth).
+  tail, threads only gate copy bandwidth);
+* ``"search"`` — the floor-seeded autotuner (:meth:`Profiler.search`):
+  rank the grid by its infinite-bandwidth lower bounds, measure an
+  opening rung, hill-climb the (chunk x threads x mechanism) neighborhood
+  of the incumbent, then *certify* the answer by measuring every
+  remaining candidate whose floor could still win.  Because a candidate
+  is only ever skipped when its floor strictly exceeds the best measured
+  runtime, the chosen configuration is provably the exhaustive argmin —
+  the search just pays for far fewer full measurements.
 
 Execution backends
 ------------------
 
 Every measurement is an independent pure function of
 ``(platform, config, phase_builder)``, which makes the sweep
-embarrassingly parallel.  The profiler therefore plans each search as a
-sequence of *waves* — batches of configurations with no data dependency
-between them — and hands each wave to an :class:`ExecutorBackend`:
+embarrassingly parallel.  The profiler hands its measurements to an
+:class:`ExecutorBackend`:
 
 * :class:`SerialBackend` (default) measures in-process, one by one;
-* :class:`ProcessPoolBackend` fans a wave out over a
-  ``concurrent.futures.ProcessPoolExecutor``.
+* :class:`ProcessPoolBackend` keeps a pool of **warm workers** per sweep.
 
-Because the simulation is deterministic, both backends produce
-byte-identical :class:`ProfileEntry` lists; :class:`ParallelProfiler` is
-a convenience wrapper selecting the process-pool backend.
+The warm-worker protocol is what makes parallel sweeps actually pay off:
+the profiler opens one :class:`TaskSession` per ``profile()`` call, the
+backend ships the pickled sweep context (platform + phase builder, the
+expensive part) to each worker exactly once at pool init, and every
+subsequent task crossing the queue is a lightweight config delta —
+``(mechanism, chunk_size, threads, kind)`` tuples — batched to amortize
+queue round-trips.  Results come back in task order, so both backends
+produce byte-identical :class:`ProfileEntry` lists;
+:class:`ParallelProfiler` is a convenience wrapper selecting the
+process-pool backend.
+
+A worker process that dies mid-sweep (OOM kill, segfault, ``os._exit``)
+surfaces as a :class:`~repro.errors.ProactError` naming the in-flight
+tasks instead of poisoning the pool silently.
 
 Ties on runtime are broken toward the smallest ``(chunk_size,
 transfer_threads)`` (then mechanism name), so the chosen configuration is
@@ -56,11 +73,13 @@ all runtime ties — is therefore still measured, and
 
 Pruning is restricted to exhaustive search because coordinate search's
 second wave *depends on* the first wave's per-mechanism winners; removing
-first-wave points could redirect the second wave.  Candidates are visited
-from large chunk sizes and thread counts downward: big chunks land near
-the optimum quickly, giving a tight incumbent, and the configurations
-that then get skipped are exactly the small-chunk points that are the
-most expensive to simulate (most chunks, most events).
+first-wave points could redirect the second wave.  The floors for the
+whole grid are computed first (they are cheap and embarrassingly
+parallel), candidates are then visited **best-first** — smallest floor
+first — so the incumbent is tight almost immediately and pruning
+compounds with parallelism: on a parallel backend the sweep measures one
+backend-width wave at a time, re-checking every candidate's floor against
+the freshest incumbent between waves.
 """
 
 from __future__ import annotations
@@ -68,6 +87,8 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import math
+import pickle
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +108,9 @@ from repro.runtime.system import System
 
 #: A phase builder produces the application's phases for a given system.
 PhaseBuilder = Callable[[System], List[List[GpuPhaseWork]]]
+
+#: The recognized search modes (see the module docstring).
+SEARCH_MODES: Tuple[str, ...] = ("coordinate", "exhaustive", "search")
 
 
 @dataclass(frozen=True)
@@ -109,13 +133,18 @@ def _entry_order(entry: ProfileEntry) -> Tuple[float, int, int, str]:
             entry.config.transfer_threads, entry.config.mechanism)
 
 
+def _config_order(config: ProactConfig) -> Tuple[int, int, str]:
+    """The tie-break direction applied to bare configs (smallest first)."""
+    return (config.chunk_size, config.transfer_threads, config.mechanism)
+
+
 @dataclass
 class ProfileResult:
     """Outcome of a profiling pass.
 
-    ``pruned_configs``/``floor_runs`` are only non-zero for pruned
-    sweeps: how many candidates were skipped outright, and how many
-    infinite-bandwidth floor simulations were paid to decide.
+    ``pruned_configs``/``floor_runs`` are only non-zero for pruned and
+    searched sweeps: how many candidates were skipped outright, and how
+    many infinite-bandwidth floor simulations were paid to decide.
     """
 
     entries: List[ProfileEntry]
@@ -175,27 +204,184 @@ def measure_config(platform: PlatformSpec, config: ProactConfig,
 
 
 # ---------------------------------------------------------------------------
+# Warm-worker protocol
+# ---------------------------------------------------------------------------
+
+#: A streamed sweep task: ``(mechanism, chunk_size, threads, kind)`` where
+#: ``kind`` is ``"measure"`` (full run, returns a :class:`ProfileEntry`)
+#: or ``"floor"`` (infinite-bandwidth lower bound, returns a float).
+SweepTask = Tuple[str, int, int, str]
+
+
+def _sweep_task(platform: PlatformSpec, phase_builder: PhaseBuilder,
+                task: SweepTask):
+    """Worker-side dispatch for one streamed config delta."""
+    mechanism, chunk_size, threads, kind = task
+    config = ProactConfig(mechanism, chunk_size, threads)
+    if kind == "floor":
+        return run_phases(platform, config, phase_builder, infinite_bw=True)
+    return measure_config(platform, config, phase_builder)
+
+
+def _measure_task(config: ProactConfig) -> SweepTask:
+    return (config.mechanism, config.chunk_size, config.transfer_threads,
+            "measure")
+
+
+def _floor_task(config: ProactConfig) -> SweepTask:
+    return (config.mechanism, config.chunk_size, config.transfer_threads,
+            "floor")
+
+
+#: Worker-global task function, installed once by ``_warm_worker_init``.
+_WORKER_FN: Optional[Callable[[Any], Any]] = None
+
+
+def _warm_worker_init(payload: bytes) -> None:
+    """Worker initializer: unpack the sweep's shared context exactly once.
+
+    ``payload`` is the pickled task function — for profiler sweeps a
+    ``partial(_sweep_task, platform, phase_builder)`` closing over the
+    heavyweight state.  After this, only task tuples cross the queue.
+    """
+    global _WORKER_FN
+    _WORKER_FN = pickle.loads(payload)
+
+
+def _warm_worker_batch(batch: Sequence[Any]) -> List[Any]:
+    """Apply the installed task function to one batch of tasks."""
+    assert _WORKER_FN is not None, "warm worker used before initialization"
+    return [_WORKER_FN(task) for task in batch]
+
+
+def _describe_tasks(tasks: Sequence[Any], limit: int = 4) -> str:
+    shown = ", ".join(repr(task) for task in tasks[:limit])
+    if len(tasks) > limit:
+        shown += f", ... ({len(tasks) - limit} more)"
+    return shown
+
+
+class TaskSession:
+    """One sweep's scope on a backend.
+
+    The task function is shipped to the workers once when the session
+    opens; :meth:`map` then streams lightweight tasks (batched on
+    parallel backends) and returns results in task order.  Use as a
+    context manager so worker pools are torn down deterministically.
+    """
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources held for the sweep (idempotent)."""
+
+    def __enter__(self) -> "TaskSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _FallbackSession(TaskSession):
+    """A session for backends that only implement ``run_tasks``."""
+
+    def __init__(self, backend: "ExecutorBackend",
+                 fn: Callable[[Any], Any]) -> None:
+        self.backend = backend
+        self.fn = fn
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        return self.backend.run_tasks(self.fn, tasks)
+
+
+class _WarmPoolSession(TaskSession):
+    """A persistent worker pool with the task function pre-installed.
+
+    The pool forks/spawns once per sweep; ``initargs`` carries the
+    pickled task function, so the platform and phase builder cross the
+    process boundary a single time instead of once per candidate.  Tasks
+    are streamed in batches — enough batches per worker that uneven
+    candidate costs still balance, few enough that queue overhead stays
+    negligible.
+    """
+
+    #: Batches submitted per worker: load-balance vs. queue overhead.
+    BATCHES_PER_WORKER = 8
+
+    def __init__(self, fn: Callable[[Any], Any], jobs: int) -> None:
+        self.jobs = jobs
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = (
+            concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs, initializer=_warm_worker_init,
+                initargs=(pickle.dumps(fn),)))
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        if self._pool is None:
+            raise ProactError("task session already closed")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        size = max(1, math.ceil(
+            len(tasks) / (self.jobs * self.BATCHES_PER_WORKER)))
+        batches = [tasks[i:i + size] for i in range(0, len(tasks), size)]
+        futures = [self._pool.submit(_warm_worker_batch, batch)
+                   for batch in batches]
+        results: List[Any] = []
+        for index, (future, batch) in enumerate(zip(futures, batches)):
+            try:
+                results.extend(future.result())
+            except BrokenProcessPool as exc:
+                raise ProactError(
+                    "worker process died during the sweep; first "
+                    f"unfinished batch ({index + 1}/{len(batches)}) "
+                    f"contained: {_describe_tasks(batch)}") from exc
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
 # Executor backends
 # ---------------------------------------------------------------------------
 
 class ExecutorBackend:
-    """Strategy for measuring one wave of independent tasks.
+    """Strategy for measuring independent tasks.
 
-    ``run_tasks`` is the generic seam: apply a picklable pure function
-    to a sequence of independent tasks and return the results in task
-    order.  The profiler's ``measure_wave`` rides it, and so does the
-    collective tuner's (algorithm x chunk size) sweep
-    (:mod:`repro.collectives.tuner`) — any embarrassingly parallel
-    measurement loop gets serial and process-pool execution for free.
+    ``run_tasks`` is the generic one-shot seam: apply a picklable pure
+    function to a sequence of independent tasks and return the results
+    in task order.  The collective tuner's (algorithm x chunk size)
+    sweep (:mod:`repro.collectives.tuner`) rides it — any embarrassingly
+    parallel measurement loop gets serial and process-pool execution for
+    free.
+
+    ``open_session`` is the sweep-scoped seam the profiler uses: the
+    task function is shipped to the execution substrate once, and the
+    returned :class:`TaskSession` maps many waves of lightweight tasks
+    against it.  The default implementation simply routes each ``map``
+    through ``run_tasks``, so custom backends that only override
+    ``run_tasks`` keep working.
+
+    ``parallelism`` is how many tasks the backend can usefully run at
+    once; the pruned/search sweeps use it to size their measurement
+    waves (one incumbent update per wave).
 
     ``measure_wave`` must return entries in the same order as
-    ``configs``; the profiler relies on positional correspondence when
-    it splits a wave's results back out per mechanism.
+    ``configs``; callers rely on positional correspondence.
     """
+
+    #: Concurrent task capacity (wave sizing for pruned/search sweeps).
+    parallelism: int = 1
 
     def run_tasks(self, fn: Callable[[Any], Any],
                   tasks: Sequence[Any]) -> List[Any]:
         raise NotImplementedError
+
+    def open_session(self, fn: Callable[[Any], Any]) -> TaskSession:
+        return _FallbackSession(self, fn)
 
     def measure_wave(self, platform: PlatformSpec,
                      configs: Sequence[ProactConfig],
@@ -207,7 +393,7 @@ class ExecutorBackend:
 
 
 class SerialBackend(ExecutorBackend):
-    """Measure a wave in-process, one task at a time."""
+    """Measure in-process, one task at a time."""
 
     def run_tasks(self, fn: Callable[[Any], Any],
                   tasks: Sequence[Any]) -> List[Any]:
@@ -215,13 +401,21 @@ class SerialBackend(ExecutorBackend):
 
 
 class ProcessPoolBackend(ExecutorBackend):
-    """Fan a wave out over a process pool.
+    """Fan tasks out over warm worker processes.
 
     Each simulation is an independent pure function of its task, so
     worker results are byte-identical to a serial run; only wall-clock
     time changes.  Both the function and every task must be picklable
     (platform specs, configs, collective tuning candidates, and the
     workloads' bound ``build_phases`` methods all are).
+
+    The pool is *warm*: opened once per sweep session with the task
+    function pre-installed in every worker, after which only small task
+    tuples cross the queue (see the module docstring).  One-shot
+    ``run_tasks`` calls get the same treatment — the function is still
+    shipped once, not once per task.  A worker that dies mid-sweep
+    raises :class:`~repro.errors.ProactError` naming the in-flight
+    batch.
     """
 
     def __init__(self, jobs: int) -> None:
@@ -229,17 +423,23 @@ class ProcessPoolBackend(ExecutorBackend):
             raise ProactError(f"need >= 1 job: {jobs}")
         self.jobs = jobs
 
+    @property
+    def parallelism(self) -> int:  # type: ignore[override]
+        return self.jobs
+
+    def open_session(self, fn: Callable[[Any], Any]) -> TaskSession:
+        if self.jobs == 1:
+            return _FallbackSession(SerialBackend(), fn)
+        return _WarmPoolSession(fn, self.jobs)
+
     def run_tasks(self, fn: Callable[[Any], Any],
                   tasks: Sequence[Any]) -> List[Any]:
         if not tasks:
             return []
-        workers = min(self.jobs, len(tasks))
-        if workers == 1:
+        if min(self.jobs, len(tasks)) == 1:
             return SerialBackend().run_tasks(fn, tasks)
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers) as pool:
-            futures = [pool.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
+        with self.open_session(fn) as session:
+            return session.map(tasks)
 
 
 # ---------------------------------------------------------------------------
@@ -256,22 +456,25 @@ class Profiler:
                  search: str = "coordinate",
                  backend: Optional[ExecutorBackend] = None,
                  prune: bool = False) -> None:
-        if search not in ("coordinate", "exhaustive"):
+        if search not in SEARCH_MODES:
             raise ProactError(
                 f"unknown search mode {search!r}; "
-                "expected 'coordinate' or 'exhaustive'")
+                f"expected one of {SEARCH_MODES}")
         if not chunk_sizes or not thread_counts or not mechanisms:
             raise ProactError("profiler needs non-empty sweep ranges")
         if prune and search != "exhaustive":
             raise ProactError(
                 "prune=True requires search='exhaustive': coordinate "
                 "search's second wave depends on unpruned first-wave "
-                "winners")
+                "winners, and 'search' already prunes via its floor "
+                "certification")
         self.platform = platform
         self.chunk_sizes = tuple(sorted(chunk_sizes))
         self.thread_counts = tuple(sorted(thread_counts))
         self.mechanisms = tuple(mechanisms)
-        self.search = search
+        #: The configured mode string; ``search`` itself is the
+        #: autotuner entry point, hence the attribute name.
+        self.search_mode = search
         self.backend = backend or SerialBackend()
         self.prune = prune
 
@@ -282,18 +485,26 @@ class Profiler:
         (given deterministic tie-breaking) choose the same winner, so the
         signature is what :class:`~repro.core.cache.ProfileStore` keys
         cached results by.  The backend is deliberately excluded —
-        parallel and serial sweeps share cache hits.
+        parallel and serial sweeps share cache hits (the ``search`` mode
+        also guarantees a backend-independent winner: its certification
+        step makes the argmin exhaustive-exact even though the set of
+        measured entries may differ by backend).
         """
         chunks = ",".join(str(size) for size in self.chunk_sizes)
         threads = ",".join(str(count) for count in self.thread_counts)
         mechanisms = ",".join(self.mechanisms)
-        signature = (f"{self.search}|mech={mechanisms}|chunks={chunks}"
+        signature = (f"{self.search_mode}|mech={mechanisms}|chunks={chunks}"
                      f"|threads={threads}")
         if self.prune:
             # A pruned sweep picks the same winner but records fewer
             # entries, so it must not share cache hits with brute force.
             signature += "|pruned"
         return signature
+
+    def _open_session(self, phase_builder: PhaseBuilder) -> TaskSession:
+        """One warm session per sweep: platform + builder ship once."""
+        fn = functools.partial(_sweep_task, self.platform, phase_builder)
+        return self.backend.open_session(fn)
 
     def profile(self, phase_builder: PhaseBuilder) -> ProfileResult:
         """Run the sweep for one application.
@@ -302,72 +513,223 @@ class Profiler:
         any backend (serial or parallel) produces identical entries in
         identical order: first every mechanism's opening sweep, then —
         for coordinate search — the thread sweep at each mechanism's
-        best granularity.
+        best granularity.  ``search="search"`` dispatches to
+        :meth:`search`; ``prune=True`` to the best-first pruned sweep.
         """
-        if self.prune:
-            return self._profile_pruned(phase_builder)
-        first_wave = {mechanism: self._first_wave(mechanism)
-                      for mechanism in self.mechanisms}
-        measured = self._split_by_mechanism(
-            first_wave, self._measure_wave(first_wave, phase_builder))
+        with self._open_session(phase_builder) as session:
+            if self.search_mode == "search":
+                return self._profile_search(session)
+            if self.prune:
+                return self._profile_pruned(session)
+            first_wave = {mechanism: self._first_wave(mechanism)
+                          for mechanism in self.mechanisms}
+            measured = self._split_by_mechanism(
+                first_wave, self._measure_wave(first_wave, session))
 
-        if self.search == "coordinate":
-            second_wave = {
-                mechanism: self._thread_sweep(mechanism, measured[mechanism])
-                for mechanism in self.mechanisms}
-            second = self._split_by_mechanism(
-                second_wave, self._measure_wave(second_wave, phase_builder))
-            for mechanism in self.mechanisms:
-                measured[mechanism].extend(second[mechanism])
+            if self.search_mode == "coordinate":
+                second_wave = {
+                    mechanism: self._thread_sweep(mechanism,
+                                                  measured[mechanism])
+                    for mechanism in self.mechanisms}
+                second = self._split_by_mechanism(
+                    second_wave, self._measure_wave(second_wave, session))
+                for mechanism in self.mechanisms:
+                    measured[mechanism].extend(second[mechanism])
 
-        return ProfileResult(entries=[
-            entry for mechanism in self.mechanisms
-            for entry in measured[mechanism]])
+            return ProfileResult(entries=[
+                entry for mechanism in self.mechanisms
+                for entry in measured[mechanism]])
+
+    def search(self, phase_builder: PhaseBuilder) -> ProfileResult:
+        """Search-based autotuning: exhaustive argmin, far fewer runs.
+
+        Works from any profiler regardless of its configured mode.  The
+        loop (see the module docstring): compute the infinite-bandwidth
+        floor for every grid point (cheap, fully parallel), measure an
+        opening rung of the floor ranking, hill-climb the incumbent's
+        (chunk x threads x mechanism) neighborhood, then certify by
+        measuring every remaining candidate whose floor does not
+        strictly exceed the incumbent.  Skipping only on
+        ``floor > incumbent`` makes the result provably identical to the
+        exhaustive argmin (including tie-breaks).
+        """
+        with self._open_session(phase_builder) as session:
+            return self._profile_search(session)
+
+    # ------------------------------------------------------------------
+    # Grid helpers
+    # ------------------------------------------------------------------
+    def _full_grid(self) -> List[ProactConfig]:
+        """Every candidate of the exhaustive search, in mechanism order."""
+        grid: List[ProactConfig] = []
+        for mechanism in self.mechanisms:
+            if mechanism == MECH_INLINE:
+                grid.append(ProactConfig(MECH_INLINE, self.chunk_sizes[0],
+                                         self.thread_counts[0]))
+                continue
+            grid.extend(ProactConfig(mechanism, chunk_size, threads)
+                        for chunk_size in self.chunk_sizes
+                        for threads in self.thread_counts)
+        return grid
+
+    def _floors(self, candidates: Sequence[ProactConfig],
+                session: TaskSession) -> Dict[ProactConfig, float]:
+        """Infinite-bandwidth lower bounds for every candidate."""
+        with suppress_observation():
+            floors = session.map([_floor_task(config)
+                                  for config in candidates])
+        return dict(zip(candidates, floors))
+
+    def _best_first(self, candidates: Sequence[ProactConfig],
+                    floors: Dict[ProactConfig, float],
+                    ) -> List[ProactConfig]:
+        """Smallest floor first; ties toward the smallest config."""
+        return sorted(candidates,
+                      key=lambda c: (floors[c], _config_order(c)))
 
     # ------------------------------------------------------------------
     # Lower-bound pruning (exhaustive search only)
     # ------------------------------------------------------------------
-    def _pruned_order(self, mechanism: str) -> List[ProactConfig]:
-        """The grid visited large-to-small so a tight incumbent forms
-        early and the expensive small-chunk simulations get skipped."""
-        if mechanism == MECH_INLINE:
-            return [ProactConfig(MECH_INLINE, self.chunk_sizes[0],
-                                 self.thread_counts[0])]
-        return [ProactConfig(mechanism, chunk_size, threads)
-                for chunk_size in reversed(self.chunk_sizes)
-                for threads in reversed(self.thread_counts)]
-
-    def _profile_pruned(self, phase_builder: PhaseBuilder) -> ProfileResult:
-        """Exhaustive sweep with the infinite-bandwidth lower bound.
+    def _profile_pruned(self, session: TaskSession) -> ProfileResult:
+        """Best-first exhaustive sweep under the infinite-BW lower bound.
 
         Skips a candidate only when ``floor > incumbent`` *strictly*, so
         every entry that could be the argmin — or tie it — is measured;
-        see the module docstring for the soundness argument.  Runs
-        in-process regardless of backend: the skip decisions form a
-        sequential dependency chain through the incumbent.
+        see the module docstring for the soundness argument.  Candidates
+        are measured one backend-width wave at a time so the incumbent
+        tightens as early as parallelism allows; the serial wave size of
+        one reproduces the classic sequential pruning loop.
         """
+        candidates = self._full_grid()
+        floors = self._floors(candidates, session)
+        ordered = self._best_first(candidates, floors)
+        wave_size = max(1, self.backend.parallelism)
+
         entries: List[ProfileEntry] = []
         pruned = 0
-        floor_runs = 0
         incumbent = math.inf
-        with suppress_observation():
-            for mechanism in self.mechanisms:
-                for config in self._pruned_order(mechanism):
-                    if entries:
-                        floor = run_phases(self.platform, config,
-                                           phase_builder, infinite_bw=True)
-                        floor_runs += 1
-                        if floor > incumbent:
-                            pruned += 1
-                            continue
-                    entry = measure_config(self.platform, config,
-                                           phase_builder)
-                    entries.append(entry)
-                    if entry.runtime < incumbent:
-                        incumbent = entry.runtime
+        cursor = 0
+        while cursor < len(ordered):
+            wave: List[ProactConfig] = []
+            while cursor < len(ordered) and len(wave) < wave_size:
+                config = ordered[cursor]
+                cursor += 1
+                if floors[config] > incumbent:
+                    pruned += 1
+                    continue
+                wave.append(config)
+            if not wave:
+                continue
+            with suppress_observation():
+                measured = session.map([_measure_task(config)
+                                        for config in wave])
+            entries.extend(measured)
+            incumbent = min(incumbent,
+                            min(entry.runtime for entry in measured))
         self._observe_entries(entries)
         return ProfileResult(entries=entries, pruned_configs=pruned,
-                             floor_runs=floor_runs)
+                             floor_runs=len(candidates))
+
+    # ------------------------------------------------------------------
+    # Search-based autotuning
+    # ------------------------------------------------------------------
+    def _neighbors(self, config: ProactConfig) -> List[ProactConfig]:
+        """The hill-climb moves from one decoupled grid point.
+
+        One step along each axis: chunk index +-1, thread index +-1, and
+        the same coordinates under every other decoupled mechanism.
+        Inline has no knobs, so it contributes no moves (the
+        certification step still measures it whenever its floor keeps it
+        in contention).
+        """
+        if config.mechanism == MECH_INLINE:
+            return []
+        chunk_index = self.chunk_sizes.index(config.chunk_size)
+        thread_index = self.thread_counts.index(config.transfer_threads)
+        moves: List[ProactConfig] = []
+        for delta in (-1, 1):
+            i = chunk_index + delta
+            if 0 <= i < len(self.chunk_sizes):
+                moves.append(ProactConfig(
+                    config.mechanism, self.chunk_sizes[i],
+                    config.transfer_threads))
+            j = thread_index + delta
+            if 0 <= j < len(self.thread_counts):
+                moves.append(ProactConfig(
+                    config.mechanism, config.chunk_size,
+                    self.thread_counts[j]))
+        for mechanism in self.mechanisms:
+            if mechanism == config.mechanism or mechanism == MECH_INLINE:
+                continue
+            moves.append(ProactConfig(mechanism, config.chunk_size,
+                                      config.transfer_threads))
+        return moves
+
+    def _profile_search(self, session: TaskSession) -> ProfileResult:
+        """The floor-seeded rung + hill-climb + certification loop."""
+        candidates = self._full_grid()
+        floors = self._floors(candidates, session)
+        ranked = self._best_first(candidates, floors)
+        wave_size = max(1, self.backend.parallelism)
+
+        entries: List[ProfileEntry] = []
+        measured: Dict[ProactConfig, ProfileEntry] = {}
+
+        def measure(configs: Sequence[ProactConfig]) -> None:
+            fresh = [config for config in configs
+                     if config not in measured]
+            if not fresh:
+                return
+            with suppress_observation():
+                batch = session.map([_measure_task(config)
+                                     for config in fresh])
+            for entry in batch:
+                measured[entry.config] = entry
+                entries.append(entry)
+
+        # Opening rung: the floor ranking's head (the floor model's bet).
+        rung = min(len(ranked), max(4, 2 * wave_size))
+        measure(ranked[:rung])
+        best = min(entries, key=_entry_order)
+
+        # Hill-climb the incumbent's neighborhood until it stops moving.
+        while True:
+            incumbent = best.runtime
+            moves = [config for config in self._neighbors(best.config)
+                     if config not in measured
+                     and floors[config] <= incumbent]
+            if not moves:
+                break
+            measure(moves)
+            improved = min(entries, key=_entry_order)
+            if improved.config == best.config:
+                break
+            best = improved
+
+        # Certification: any unmeasured candidate whose floor does not
+        # strictly exceed the incumbent could still win — measure them,
+        # best-first, re-pruning between waves as the incumbent drops.
+        incumbent = min(entry.runtime for entry in entries)
+        remaining = [config for config in ranked if config not in measured]
+        cursor = 0
+        while cursor < len(remaining):
+            wave: List[ProactConfig] = []
+            while cursor < len(remaining) and len(wave) < wave_size:
+                config = remaining[cursor]
+                cursor += 1
+                if floors[config] > incumbent:
+                    continue
+                wave.append(config)
+            if not wave:
+                continue
+            measure(wave)
+            incumbent = min(entry.runtime for entry in entries)
+
+        self._observe_entries(entries)
+        return ProfileResult(
+            entries=entries,
+            pruned_configs=len(candidates) - len(entries),
+            floor_runs=len(candidates))
 
     # ------------------------------------------------------------------
     # Wave planning
@@ -378,7 +740,7 @@ class Profiler:
             # Inline has no decoupled knobs; one representative point.
             return [ProactConfig(MECH_INLINE, self.chunk_sizes[0],
                                  self.thread_counts[0])]
-        if self.search == "exhaustive":
+        if self.search_mode == "exhaustive":
             return [ProactConfig(mechanism, chunk_size, threads)
                     for chunk_size in self.chunk_sizes
                     for threads in self.thread_counts]
@@ -396,7 +758,7 @@ class Profiler:
                 for threads in self.thread_counts[:-1]]
 
     def _measure_wave(self, wave: Dict[str, List[ProactConfig]],
-                      phase_builder: PhaseBuilder) -> List[ProfileEntry]:
+                      session: TaskSession) -> List[ProfileEntry]:
         flat = [config for mechanism in self.mechanisms
                 for config in wave[mechanism]]
         # Candidate measurements build hundreds of throwaway systems;
@@ -405,8 +767,8 @@ class Profiler:
         # never see the parent's scope — observe identically).  The
         # per-candidate timings themselves are published afterwards.
         with suppress_observation():
-            entries = self.backend.measure_wave(
-                self.platform, flat, phase_builder)
+            entries = session.map([_measure_task(config)
+                                   for config in flat])
         self._observe_entries(entries)
         return entries
 
@@ -446,11 +808,14 @@ class Profiler:
 
 
 class ParallelProfiler(Profiler):
-    """A :class:`Profiler` that fans each wave over worker processes.
+    """A :class:`Profiler` that fans each sweep over warm workers.
 
     ``ParallelProfiler(platform, jobs=4)`` returns entries identical to
-    ``Profiler(platform)`` — same configs, same runtimes, same order —
-    the sweep just completes up to ``jobs`` times faster.
+    ``Profiler(platform)`` — same configs, same runtimes, same order for
+    the coordinate and exhaustive modes — the sweep just completes up to
+    ``jobs`` times faster.  The pruned and search modes additionally use
+    ``jobs`` to size their measurement waves; their chosen configuration
+    (and its bitwise runtime) is still identical to the serial answer.
     """
 
     def __init__(self, platform: PlatformSpec,

@@ -46,11 +46,22 @@ class ExperimentContext:
     tripped invariant surfaces as that experiment's failure (the suite
     keeps going and exits non-zero).  Like observation, validation only
     checks — it never changes what an experiment computes.
+
+    ``profile_strategy`` selects the profiler search mode for the
+    experiments that sweep configuration spaces (``"coordinate"``,
+    ``"exhaustive"``, or ``"search"`` for the floor-seeded autotuner),
+    and ``profile_jobs`` fans each of those sweeps over that many warm
+    worker processes.  Both default to the historical serial coordinate
+    sweep, so existing tables are byte-identical unless explicitly
+    overridden (``--profile-strategy`` / ``--profile-jobs`` on the
+    runner CLI).
     """
 
     quick: bool = True
     observe: bool = False
     validate: bool = False
+    profile_strategy: str = "coordinate"
+    profile_jobs: int = 1
 
     @property
     def micro_bytes(self) -> int:
@@ -163,6 +174,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
                    "repro.experiments.sensitivity"),
     ExperimentSpec("collectives", "Collectives",
                    "repro.experiments.collectives"),
+    ExperimentSpec("autotune", "Search autotuner",
+                   "repro.experiments.autotune"),
 )
 
 _BY_NAME: Dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}

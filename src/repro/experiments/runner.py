@@ -17,6 +17,8 @@ Command line::
                                        [--only NAME ...] [--json PATH]
                                        [--trace PATH] [--metrics PATH]
                                        [--validate] [--list]
+                                       [--profile-strategy MODE]
+                                       [--profile-jobs N]
 
 ``--trace`` captures every simulated system built by the selected
 experiments and writes one merged Chrome-trace JSON (open it at
@@ -157,7 +159,9 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
             json_path: Optional[str] = None,
             trace_path: Optional[str] = None,
             metrics_path: Optional[str] = None,
-            validate: bool = False) -> List[ExperimentResult]:
+            validate: bool = False,
+            profile_strategy: str = "coordinate",
+            profile_jobs: int = 1) -> List[ExperimentResult]:
     """Run the experiment suite, printing each table as it completes.
 
     ``quick=True`` shrinks the microbenchmark data size and the profiler
@@ -171,12 +175,17 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     byte-identical with observation on or off.  ``validate=True`` runs
     every experiment under the readiness/conservation sanitizers; a
     tripped invariant records as that experiment's failure.
+    ``profile_strategy``/``profile_jobs`` select the profiler search
+    mode and warm-worker parallelism for the sweep-driven experiments
+    (see :class:`~repro.experiments.registry.ExperimentContext`).
     """
     stream = out or sys.stdout
     names = [spec.name for spec in select_specs(only)]
     observe = trace_path is not None or metrics_path is not None
     ctx = ExperimentContext(quick=quick, observe=observe,
-                            validate=validate)
+                            validate=validate,
+                            profile_strategy=profile_strategy,
+                            profile_jobs=profile_jobs)
 
     started = time.perf_counter()
     if jobs > 1 and len(names) > 1:
@@ -228,6 +237,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run every experiment under the readiness/conservation "
              "sanitizers; a tripped invariant fails the suite")
     parser.add_argument(
+        "--profile-strategy", default="coordinate", metavar="MODE",
+        choices=("coordinate", "exhaustive", "search"),
+        help="profiler search mode for sweep-driven experiments: "
+             "coordinate (default), exhaustive, or search (the "
+             "floor-seeded autotuner)")
+    parser.add_argument(
+        "--profile-jobs", type=int, default=1, metavar="N",
+        help="fan each profiler sweep over N warm worker processes "
+             "(default: 1, serial)")
+    parser.add_argument(
         "--list", action="store_true",
         help="list registered experiment names and exit")
     args = parser.parse_args(argv)
@@ -238,10 +257,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.profile_jobs < 1:
+        parser.error(f"--profile-jobs must be >= 1, got {args.profile_jobs}")
 
     results = run_all(quick=args.quick, jobs=args.jobs, only=args.only,
                       json_path=args.json, trace_path=args.trace,
-                      metrics_path=args.metrics, validate=args.validate)
+                      metrics_path=args.metrics, validate=args.validate,
+                      profile_strategy=args.profile_strategy,
+                      profile_jobs=args.profile_jobs)
     failures = suite_failures(results)
     if failures:
         for failure in failures:

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.config import PROFILE_CHUNK_SIZES, PROFILE_THREAD_COUNTS
-from repro.core.profiler import Profiler
+from repro.core.profiler import ParallelProfiler, Profiler
 from repro.experiments.registry import ExperimentContext, ExperimentResult
 from repro.experiments.report import TextTable
 from repro.hw.platform import FOUR_GPU_PLATFORMS, PlatformSpec
@@ -51,8 +51,15 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
         workloads: Optional[Sequence[Workload]] = None,
         quick: bool = True,
         chunk_sizes: Optional[Sequence[int]] = None,
-        thread_counts: Optional[Sequence[int]] = None) -> Table2Result:
-    """Regenerate Table II by profiling every app on every platform."""
+        thread_counts: Optional[Sequence[int]] = None,
+        search: str = "coordinate",
+        jobs: int = 1) -> Table2Result:
+    """Regenerate Table II by profiling every app on every platform.
+
+    ``search`` and ``jobs`` select the profiler's search mode and
+    warm-worker parallelism; the defaults reproduce the historical
+    serial coordinate sweep byte-for-byte.
+    """
     workload_list = list(workloads) if workloads else default_workloads()
     if chunk_sizes is None:
         chunk_sizes = QUICK_CHUNK_SIZES if quick else PROFILE_CHUNK_SIZES
@@ -63,8 +70,13 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
         platforms=[p.name for p in platforms],
         workloads=[w.name for w in workload_list])
     for platform in platforms:
-        profiler = Profiler(platform, chunk_sizes=chunk_sizes,
-                            thread_counts=thread_counts)
+        if jobs > 1:
+            profiler: Profiler = ParallelProfiler(
+                platform, chunk_sizes=chunk_sizes,
+                thread_counts=thread_counts, search=search, jobs=jobs)
+        else:
+            profiler = Profiler(platform, chunk_sizes=chunk_sizes,
+                                thread_counts=thread_counts, search=search)
         for workload in workload_list:
             profile = profiler.profile(workload.phase_builder())
             best = profile.best
@@ -76,7 +88,8 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
 
 def experiment(ctx: ExperimentContext) -> ExperimentResult:
     """Registry entry point (see :mod:`repro.experiments.registry`)."""
-    result = run(quick=ctx.quick)
+    result = run(quick=ctx.quick, search=ctx.profile_strategy,
+                 jobs=ctx.profile_jobs)
     decoupled = sum(1 for label in result.labels.values() if label != "I")
     return ExperimentResult.build(
         "table2", "Table II", [result.table()],

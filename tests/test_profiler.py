@@ -1,5 +1,7 @@
 """Tests for PROACT's compile-time profiler."""
 
+import os
+
 import pytest
 
 from repro.core import (
@@ -11,6 +13,7 @@ from repro.core import (
     Profiler,
 )
 from repro.core.profiler import (
+    ExecutorBackend,
     ProcessPoolBackend,
     ProfileEntry,
     ProfileResult,
@@ -140,6 +143,80 @@ def test_parallel_profiler_matches_serial_exactly():
             jobs=4).profile(builder)
         assert serial.entries == parallel.entries
         assert serial.best == parallel.best
+
+
+def test_parallel_pruned_sweep_matches_serial_argmin():
+    # The best-first pruned sweep sizes its waves by the backend's
+    # parallelism; the skip condition is still strict, so the winner —
+    # config and bitwise runtime — must match the serial pruned sweep
+    # and brute force.
+    builder = small_pagerank().phase_builder()
+    kwargs = dict(chunk_sizes=SMALL_CHUNKS, thread_counts=SMALL_THREADS,
+                  search="exhaustive")
+    brute = Profiler(PLATFORM_4X_VOLTA, **kwargs).profile(builder)
+    parallel = ParallelProfiler(PLATFORM_4X_VOLTA, prune=True, jobs=2,
+                                **kwargs).profile(builder)
+    assert parallel.best.config == brute.best.config
+    assert parallel.best.runtime == brute.best.runtime
+    measured = {entry.config: entry.runtime for entry in brute.entries}
+    for entry in parallel.entries:
+        assert measured[entry.config] == entry.runtime
+    assert (len(parallel.entries) + parallel.pruned_configs
+            == len(brute.entries))
+
+
+def _crash_on_three(task):
+    # os._exit skips all cleanup — to the pool this is a worker that
+    # vanished mid-task, exactly like an OOM kill or a segfault.
+    if task == 3:
+        os._exit(17)
+    return task * 2
+
+
+def test_dying_worker_surfaces_error_with_offending_tasks():
+    # Regression: a worker death used to poison the pool and hang or
+    # surface as a bare BrokenProcessPool with no hint of which config
+    # was in flight.
+    backend = ProcessPoolBackend(jobs=2)
+    with pytest.raises(ProactError, match=r"worker process died.*3"):
+        backend.run_tasks(_crash_on_three, list(range(8)))
+
+
+def test_dying_worker_in_session_names_batch():
+    backend = ProcessPoolBackend(jobs=2)
+    with backend.open_session(_crash_on_three) as session:
+        with pytest.raises(ProactError, match="unfinished batch"):
+            session.map(list(range(8)))
+
+
+def test_warm_session_maps_in_task_order():
+    backend = ProcessPoolBackend(jobs=2)
+    with backend.open_session(_double) as session:
+        assert session.map(list(range(20))) == [2 * i for i in range(20)]
+        assert session.map([]) == []
+    with pytest.raises(ProactError, match="closed"):
+        session.map([1])
+
+
+def _double(task):
+    return task * 2
+
+
+def test_custom_backend_overriding_run_tasks_still_works():
+    # Third-party backends predating the warm-worker seam override only
+    # run_tasks; the default open_session must route through it.
+    calls = []
+
+    class Recording(ExecutorBackend):
+        def run_tasks(self, fn, tasks):
+            calls.append(len(tasks))
+            return [fn(task) for task in tasks]
+
+    backend = Recording()
+    with backend.open_session(_double) as session:
+        assert session.map([1, 2, 3]) == [2, 4, 6]
+    assert calls == [3]
+    assert backend.parallelism == 1
 
 
 def test_process_pool_backend_validation():

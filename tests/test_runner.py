@@ -29,9 +29,9 @@ FAST = ["table1", "fig2"]
 def test_registry_covers_every_experiment_module():
     names = experiment_names()
     assert names[0] == "table1"  # canonical serial order preserved
-    assert len(names) == len(set(names)) == len(REGISTRY) == 14
+    assert len(names) == len(set(names)) == len(REGISTRY) == 15
     for expected in ("fig1", "fig7", "table2", "ablations", "sensitivity",
-                     "utilization", "collectives"):
+                     "utilization", "collectives", "autotune"):
         assert expected in names
 
 
@@ -234,6 +234,30 @@ def test_cli_rejects_bad_arguments():
         runner.main(["--jobs", "0", "--only", "table1"])
     with pytest.raises(SystemExit):
         runner.main(["--quick", "--full"])
+    with pytest.raises(SystemExit):
+        runner.main(["--profile-strategy", "random", "--only", "table1"])
+    with pytest.raises(SystemExit):
+        runner.main(["--profile-jobs", "0", "--only", "table1"])
+
+
+def test_cli_profile_strategy_and_jobs_reach_the_context(monkeypatch):
+    seen = {}
+
+    def fake_run_all(**kwargs):
+        seen.update(kwargs)
+        return [ExperimentResult(name="a", label="A", tables=["t"], rows=1)]
+
+    monkeypatch.setattr(runner, "run_all", fake_run_all)
+    assert runner.main(["--only", "table2", "--profile-strategy", "search",
+                        "--profile-jobs", "2"]) == 0
+    assert seen["profile_strategy"] == "search"
+    assert seen["profile_jobs"] == 2
+
+
+def test_context_carries_profile_strategy_defaults():
+    ctx = ExperimentContext(quick=True)
+    assert ctx.profile_strategy == "coordinate"
+    assert ctx.profile_jobs == 1
 
 
 # ---------------------------------------------------------------------------
