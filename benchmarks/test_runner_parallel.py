@@ -27,6 +27,7 @@ import time
 
 from repro.core.profiler import ParallelProfiler, Profiler
 from repro.hw import platform_by_name
+from repro.obs import capture
 from repro.units import KiB, MiB
 from repro.workloads import PageRankWorkload
 
@@ -40,6 +41,8 @@ MIN_SWEEP_CONFIGS = 100
 
 BENCH_JOBS = 4
 REQUIRED_SPEEDUP = 3.0
+#: Sweep telemetry (capture(sweeps=True)) may cost at most 5% wall clock.
+MAX_TELEMETRY_OVERHEAD = 1.05
 
 
 def _workload():
@@ -115,3 +118,88 @@ def test_warm_worker_sweep_speedup(benchmark, results_dir):
         assert speedup >= REQUIRED_SPEEDUP, (
             f"warm-worker sweep only {speedup:.2f}x faster than serial "
             f"at {BENCH_JOBS} jobs (needed {REQUIRED_SPEEDUP}x)")
+
+
+def test_sweep_telemetry_coverage_and_overhead(results_dir):
+    """Acceptance gate for ``capture(sweeps=True)`` on the full grid.
+
+    The 113-config parallel sweep under sweep telemetry must produce a
+    Perfetto document with one activity lane per worker and a decision
+    log whose measure+prune counts exactly cover the grid — while the
+    sweep's entries stay byte-identical to an untelemetered run and the
+    wall-clock overhead stays within ``MAX_TELEMETRY_OVERHEAD`` (the
+    overhead gate, like the speedup gate above, is enforced in-test
+    only on hosts with enough cores to make the timing meaningful).
+    """
+    platform = platform_by_name("4x_volta")
+    builder = _workload().phase_builder()
+
+    def sweep():
+        return ParallelProfiler(platform, jobs=BENCH_JOBS,
+                                **_profiler_kwargs()).profile(builder)
+
+    started = time.perf_counter()
+    plain = sweep()
+    off_s = time.perf_counter() - started
+    grid = len(plain.entries)
+    assert grid >= MIN_SWEEP_CONFIGS  # the 113-config grid
+
+    started = time.perf_counter()
+    with capture(sweeps=True) as observation:
+        traced = sweep()
+    on_s = time.perf_counter() - started
+
+    # Telemetry must never perturb the sweep itself.
+    assert traced.entries == plain.entries
+    assert traced.best == plain.best
+
+    # Decision log covers the grid exactly: every candidate ends in
+    # exactly one measure or prune event, and the final incumbent is
+    # the sweep's actual winner.
+    decisions = observation.decisions
+    measured = decisions.count("measure")
+    pruned = decisions.count("prune")
+    assert measured + pruned == grid
+    assert measured == len(traced.entries)
+    assert decisions.final_incumbent().config == traced.best.config.label()
+
+    cpus = os.cpu_count() or 1
+    gate_enforced = cpus >= BENCH_JOBS
+    lanes = sorted({channel
+                    for channel in observation.ambient_tracer.channels()
+                    if channel.startswith("sweep.worker")})
+    assert len(lanes) >= 1
+    if gate_enforced:
+        assert len(lanes) == BENCH_JOBS  # one lane per worker process
+
+    # The exported Perfetto document carries the lanes and the
+    # decision channel as their own tracks.
+    document = observation.chrome_trace()
+    tids = {event["tid"] for event in document["traceEvents"]}
+    assert set(lanes) <= tids
+    assert "decision" in tids
+
+    overhead = on_s / off_s
+    datapoint = {
+        "benchmark": "sweep_telemetry",
+        "sweep_configs": grid,
+        "jobs": BENCH_JOBS,
+        "cpu_count": cpus,
+        "telemetry_off_s": round(off_s, 3),
+        "telemetry_on_s": round(on_s, 3),
+        "overhead": round(overhead, 3),
+        "max_overhead": MAX_TELEMETRY_OVERHEAD,
+        "gate_enforced": gate_enforced,
+        "identical_entries": True,
+        "worker_lanes": len(lanes),
+        "decisions_measured": measured,
+        "decisions_pruned": pruned,
+        "decision_events": len(decisions),
+    }
+    path = results_dir / "BENCH_sweep_telemetry.json"
+    path.write_text(json.dumps(datapoint, indent=2, sort_keys=True) + "\n")
+
+    if gate_enforced:
+        assert overhead <= MAX_TELEMETRY_OVERHEAD, (
+            f"sweep telemetry costs {overhead:.3f}x wall clock "
+            f"(allowed {MAX_TELEMETRY_OVERHEAD}x)")

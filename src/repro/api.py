@@ -81,6 +81,11 @@ class Session:
         trace: Record structural traces for every run (exported with
             :meth:`chrome_trace`).
         metrics: Collect the metrics registry even when tracing is off.
+        sweeps: Also capture profiler sweep telemetry — per-worker
+            activity lanes, the search/prune :class:`DecisionLog`
+            (:attr:`decisions`), and sweep latency histograms.  Implies
+            observation; candidate simulations inside sweeps stay
+            unobserved either way, so results are unchanged.
         verbose_trace: Also record per-event engine lanes (huge; debug
             only).
         infinite_bw: Build systems with the infinite-bandwidth fabric
@@ -97,6 +102,7 @@ class Session:
                  validate: bool = False,
                  trace: bool = False,
                  metrics: bool = False,
+                 sweeps: bool = False,
                  verbose_trace: bool = False,
                  infinite_bw: bool = False,
                  quantum: int = DEFAULT_QUANTUM,
@@ -118,9 +124,10 @@ class Session:
         # point below re-installs them as the ambient scopes, so results
         # accumulate across calls.
         self._observation: Optional[Observation] = None
-        if trace or metrics or verbose_trace:
-            self._observation = Observation(trace=trace or verbose_trace,
-                                            verbose=verbose_trace)
+        if trace or metrics or verbose_trace or sweeps:
+            self._observation = Observation(
+                trace=trace or verbose_trace or sweeps,
+                verbose=verbose_trace, sweeps=sweeps)
         self._validation: Optional[Validation] = None
         if validate:
             self._validation = Validation()
@@ -193,7 +200,8 @@ class Session:
                 chunk_sizes: Optional[Sequence[int]] = None,
                 thread_counts: Optional[Sequence[int]] = None,
                 mechanisms: Optional[Sequence[str]] = None,
-                jobs: Optional[int] = None):
+                jobs: Optional[int] = None,
+                progress: Union[bool, Callable[..., None], None] = None):
         """Run PROACT's compile-time profiler for ``workload``.
 
         ``strategy`` names the search mode (``"coordinate"``,
@@ -202,8 +210,10 @@ class Session:
         keyword, which remains as an alias.  ``prune=True`` (exhaustive
         search only) enables the infinite-bandwidth lower-bound early
         exit — same argmin, fewer full measurements.  ``jobs`` selects
-        the warm-worker process-pool backend.  Returns a
-        :class:`~repro.core.profiler.ProfileResult`.
+        the warm-worker process-pool backend.  ``progress`` streams live
+        :class:`~repro.core.profiler.SweepProgress` snapshots — ``True``
+        for a stderr status line per wave, or any callable sink.
+        Returns a :class:`~repro.core.profiler.ProfileResult`.
         """
         from repro.core.config import (PROFILE_CHUNK_SIZES,
                                        PROFILE_THREAD_COUNTS)
@@ -214,7 +224,7 @@ class Session:
             thread_counts=thread_counts or PROFILE_THREAD_COUNTS,
             mechanisms=mechanisms or ALL_MECHANISMS,
             search=strategy if strategy is not None else search,
-            prune=prune)
+            prune=prune, progress=progress)
         if jobs is not None and jobs > 1:
             profiler = ParallelProfiler(self.platform, jobs=jobs, **kwargs)
         else:
@@ -271,6 +281,31 @@ class Session:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.chrome_trace(), handle)
 
+    @property
+    def decisions(self):
+        """The sweep :class:`~repro.obs.decisions.DecisionLog`.
+
+        Populated by :meth:`profile` calls on a ``Session(sweeps=True)``;
+        ``None`` when the session observes nothing.
+        """
+        if self._observation is None:
+            return None
+        return self._observation.decisions
+
+    def save_report(self, path: str, title: str = "Session report") -> None:
+        """Write a run report (trace + metrics + decisions) to ``path``.
+
+        ``.json`` paths get the structured report; anything else gets
+        the rendered markdown (see :mod:`repro.obs.report`).
+        """
+        if self._observation is None:
+            raise ConfigurationError(
+                "session was created without trace/metrics; "
+                "pass trace=True (or sweeps=True) to Session()")
+        from repro.obs.report import observation_report, write_report
+        write_report(path, observation_report(self._observation,
+                                              title=title))
+
     def validation_summary(self) -> Dict[str, int]:
         """Aggregated sanitizer counters over every validated run."""
         if self._validation is None:
@@ -315,6 +350,8 @@ class Session:
         if self._observation is not None:
             flags.append("trace" if self._observation.trace_enabled
                          else "metrics")
+            if self._observation.sweeps:
+                flags.append("sweeps")
         if self.infinite_bw:
             flags.append("infinite_bw")
         suffix = f" [{', '.join(flags)}]" if flags else ""

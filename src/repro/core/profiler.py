@@ -80,6 +80,29 @@ first — so the incumbent is tight almost immediately and pruning
 compounds with parallelism: on a parallel backend the sweep measures one
 backend-width wave at a time, re-checking every candidate's floor against
 the freshest incumbent between waves.
+
+Sweep telemetry
+---------------
+
+Candidate simulations always run unobserved (``suppress`` around every
+``session.map``) — that is what keeps sweep results byte-identical
+across backends and captures.  Under ``capture(sweeps=True)`` the sweep
+itself becomes observable instead: every task function is wrapped in a
+:class:`_TelemetryFn` that stamps wall-clock start/end, worker pid, and
+batch id in the worker, and the parent-side :class:`_TelemetrySession`
+unwraps those records, lays them out as one ``sweep.worker{N}`` lane per
+worker on the observation's ambient tracer (task spans nested in batch
+spans), and folds queue-wait/batch/task histograms into the shared
+registry via a phase-safe :meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+Every search decision — floors computed, candidates measured or pruned,
+incumbent updates, hill-climb moves, certification waves — lands in the
+observation's typed :class:`~repro.obs.decisions.DecisionLog` (mirrored
+on the ``decision`` trace channel), with the invariant that each grid
+candidate ends in exactly one ``measure`` or ``prune`` event.
+
+Independently of capture, ``Profiler(..., progress=True)`` (or a
+callback) reports live progress — configs/sec, prune rate, ETA, worker
+utilization — as :class:`SweepProgress` snapshots after each wave.
 """
 
 from __future__ import annotations
@@ -87,10 +110,23 @@ from __future__ import annotations
 import concurrent.futures
 import functools
 import math
+import os
 import pickle
+import sys
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import (
     ALL_MECHANISMS,
@@ -102,8 +138,10 @@ from repro.core.config import (
 from repro.core.runtime import GpuPhaseWork, ProactPhaseExecutor
 from repro.errors import ProactError
 from repro.hw.platform import PlatformSpec
+from repro.obs.capture import Observation
 from repro.obs.capture import active as active_observation
 from repro.obs.capture import suppress as suppress_observation
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.system import System
 
 #: A phase builder produces the application's phases for a given system.
@@ -236,6 +274,11 @@ def _floor_task(config: ProactConfig) -> SweepTask:
 #: Worker-global task function, installed once by ``_warm_worker_init``.
 _WORKER_FN: Optional[Callable[[Any], Any]] = None
 
+#: Worker-global batch counter, bumped per ``_warm_worker_batch`` call,
+#: so telemetry records can be grouped back into their true queue
+#: batches (the serial backend leaves it at 0: one map call, one batch).
+_WORKER_BATCH: int = 0
+
 
 def _warm_worker_init(payload: bytes) -> None:
     """Worker initializer: unpack the sweep's shared context exactly once.
@@ -250,7 +293,9 @@ def _warm_worker_init(payload: bytes) -> None:
 
 def _warm_worker_batch(batch: Sequence[Any]) -> List[Any]:
     """Apply the installed task function to one batch of tasks."""
+    global _WORKER_BATCH
     assert _WORKER_FN is not None, "warm worker used before initialization"
+    _WORKER_BATCH += 1
     return [_WORKER_FN(task) for task in batch]
 
 
@@ -443,6 +488,291 @@ class ProcessPoolBackend(ExecutorBackend):
 
 
 # ---------------------------------------------------------------------------
+# Sweep telemetry
+# ---------------------------------------------------------------------------
+
+class _TaskRecord(NamedTuple):
+    """A task result wrapped with its worker-side timing envelope."""
+
+    result: Any
+    pid: int
+    batch: int
+    started: float  #: Wall clock (``time.time``), comparable across procs.
+    ended: float
+    task: SweepTask
+
+
+class _TelemetryFn:
+    """Picklable task-function wrapper that times each task in the worker.
+
+    Wall-clock (`time.time`) stamps are the only clock meaningful across
+    process boundaries; the parent rebases them onto the observation's
+    epoch.  The wrapper deliberately does not touch the result — sweep
+    outputs stay byte-identical with telemetry on.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: SweepTask) -> _TaskRecord:
+        started = time.time()
+        result = self.fn(task)
+        return _TaskRecord(result, os.getpid(), _WORKER_BATCH,
+                           started, time.time(), task)
+
+
+class _TelemetrySession(TaskSession):
+    """Wraps any :class:`TaskSession` whose fn is a :class:`_TelemetryFn`.
+
+    Unwraps each wave's :class:`_TaskRecord` envelopes in task order (so
+    callers see exactly the results they would without telemetry) and
+    merges the timing envelopes into the owning observation: one
+    ``sweep.worker{N}`` tracer lane per worker process (task spans nested
+    inside batch spans), plus queue-wait/batch/task histograms folded in
+    through a local registry and the phase-safe
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+    """
+
+    def __init__(self, inner: TaskSession,
+                 telemetry: "_SweepTelemetry") -> None:
+        self.inner = inner
+        self.telemetry = telemetry
+        self._worker_lanes: Dict[int, str] = {}
+
+    def map(self, tasks: Sequence[Any]) -> List[Any]:
+        submitted = time.time()
+        records = self.inner.map(tasks)
+        return self._merge(records, submitted)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def worker_count(self) -> int:
+        """Distinct worker processes seen so far."""
+        return len(self._worker_lanes)
+
+    def _lane(self, pid: int) -> str:
+        lane = self._worker_lanes.get(pid)
+        if lane is None:
+            lane = f"sweep.worker{len(self._worker_lanes)}"
+            self._worker_lanes[pid] = lane
+        return lane
+
+    def _merge(self, records: Sequence[_TaskRecord],
+               submitted: float) -> List[Any]:
+        observation = self.telemetry.observation
+        epoch = observation.epoch
+        tracer = observation.ambient_tracer
+        local = MetricsRegistry()
+        results: List[Any] = []
+        batches: Dict[Tuple[int, int], List[_TaskRecord]] = {}
+        lane_first_start: Dict[str, float] = {}
+        for record in records:
+            results.append(record.result)
+            lane = self._lane(record.pid)
+            batches.setdefault((record.pid, record.batch), []).append(record)
+            started, ended = record.started, max(record.ended, record.started)
+            if lane not in lane_first_start or started < lane_first_start[lane]:
+                lane_first_start[lane] = started
+            mechanism, chunk_size, threads, kind = record.task
+            duration = ended - started
+            self.telemetry.busy_s += duration
+            tracer.span(started - epoch, ended - epoch, lane,
+                        f"{kind} {mechanism}/c{chunk_size}/t{threads}",
+                        payload={"kind": kind, "mechanism": mechanism,
+                                 "chunk_size": chunk_size, "threads": threads,
+                                 "wall_ms": duration * 1e3})
+            local.observe("sweep_task_ms", duration * 1e3, kind=kind)
+        for (pid, _batch), group in sorted(batches.items()):
+            lane = self._lane(pid)
+            start = min(record.started for record in group)
+            end = max(max(record.ended, record.started) for record in group)
+            tracer.span(start - epoch, end - epoch, lane, "batch",
+                        payload={"tasks": len(group)})
+            local.observe("sweep_batch_ms", (end - start) * 1e3, worker=lane)
+        for lane, first_start in lane_first_start.items():
+            local.observe("sweep_queue_wait_ms",
+                          max(0.0, first_start - submitted) * 1e3,
+                          worker=lane)
+        local.inc("sweep_tasks", len(records))
+        observation.metrics.merge(local)
+        return results
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One live snapshot of a sweep, delivered to ``progress`` sinks.
+
+    ``eta_s`` and ``worker_utilization`` are ``None`` when unknowable
+    (nothing finished yet; utilization needs ``capture(sweeps=True)``
+    because only the telemetry envelopes carry worker busy time).
+    """
+
+    stage: str  #: ``floors``/``measure``/``rung``/``climb``/``certify``/``done``
+    platform: str
+    total_configs: int  #: Grid candidates this sweep will decide on.
+    measured: int
+    pruned: int
+    floor_runs: int
+    elapsed_s: float
+    configs_per_s: float
+    eta_s: Optional[float]
+    workers: int
+    worker_utilization: Optional[float]
+
+    @property
+    def decided(self) -> int:
+        """Candidates already measured or pruned."""
+        return self.measured + self.pruned
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of decided candidates that were pruned."""
+        return self.pruned / self.decided if self.decided else 0.0
+
+    def render(self) -> str:
+        """One human-readable status line (the stderr reporter's output)."""
+        parts = [f"[profile {self.platform}] {self.stage}:",
+                 f"{self.decided}/{self.total_configs} configs",
+                 f"({self.pruned} pruned)"]
+        if self.configs_per_s > 0:
+            parts.append(f"{self.configs_per_s:.1f} cfg/s")
+        if self.eta_s is not None:
+            parts.append(f"eta {self.eta_s:.1f}s")
+        if self.worker_utilization is not None:
+            parts.append(f"util {self.worker_utilization:.0%}")
+        return " ".join(parts)
+
+
+def _stderr_progress(progress: SweepProgress) -> None:
+    """The ``progress=True`` sink: one status line per wave on stderr."""
+    print(progress.render(), file=sys.stderr, flush=True)
+
+
+#: What ``Profiler(progress=...)`` accepts: a callback, True for the
+#: stderr reporter, or None/False for silence.
+ProgressSink = Union[None, bool, Callable[[SweepProgress], None]]
+
+
+class _SweepTelemetry:
+    """Parent-side controller for one sweep's telemetry and progress.
+
+    Owns the decision bookkeeping (every grid candidate must end in
+    exactly one ``measure`` or ``prune`` event), the incumbent tracking
+    (same :func:`_entry_order` tie-breaks as :attr:`ProfileResult.best`,
+    so the decision log's final incumbent is the sweep's actual winner),
+    and the progress ticks.  When neither ``capture(sweeps=True)`` nor a
+    progress sink is active every method is a cheap early return and the
+    task session is never wrapped, so sweeps pay nothing.
+    """
+
+    def __init__(self, observation: Optional[Observation],
+                 progress: Optional[Callable[[SweepProgress], None]],
+                 total: int, workers: int, platform: str) -> None:
+        self.observation = observation
+        self.progress = progress
+        self.enabled = observation is not None or progress is not None
+        self.total = total
+        self.workers = workers
+        self.platform = platform
+        self.measured = 0
+        self.pruned = 0
+        self.floor_runs = 0
+        self.busy_s = 0.0  #: Summed worker task time (utilization input).
+        self.started = time.perf_counter()
+        self._best: Optional[ProfileEntry] = None
+
+    def wrap_session(self, session: TaskSession) -> TaskSession:
+        """Telemetry-wrap a session (identity unless capturing sweeps)."""
+        if self.observation is None:
+            return session
+        return _TelemetrySession(session, self)
+
+    def _log(self, kind: str, config: Optional[str] = None,
+             **payload: Any) -> None:
+        if self.observation is not None:
+            self.observation.decisions.log(kind, config=config, **payload)
+
+    def floors_done(self, floors: Dict[ProactConfig, float]) -> None:
+        """One batch of infinite-BW lower bounds finished."""
+        if not self.enabled or not floors:
+            return
+        self.floor_runs += len(floors)
+        if self.observation is not None:
+            for value in floors.values():
+                self.observation.metrics.observe(
+                    "sweep_floor_runtime_ms", value * 1e3,
+                    platform=self.platform)
+        values = floors.values()
+        self._log("floors", count=len(floors),
+                  min_floor=min(values), max_floor=max(values))
+        self.tick("floors")
+
+    def measured_entries(self, entries: Sequence[ProfileEntry]) -> None:
+        """Record measure (and any incumbent-improvement) events."""
+        if not self.enabled:
+            return
+        for entry in entries:
+            self.measured += 1
+            self._log("measure", config=entry.config.label(),
+                      runtime=entry.runtime)
+            if self._best is None or _entry_order(entry) < _entry_order(
+                    self._best):
+                self._best = entry
+                self._log("incumbent", config=entry.config.label(),
+                          runtime=entry.runtime)
+
+    def pruned_config(self, config: ProactConfig, floor: float,
+                      incumbent: float) -> None:
+        """One candidate skipped because ``floor > incumbent``."""
+        if not self.enabled:
+            return
+        self.pruned += 1
+        self._log("prune", config=config.label(), floor=floor,
+                  incumbent=incumbent)
+
+    def rung(self, size: int) -> None:
+        if self.enabled:
+            self._log("rung", size=size)
+
+    def move(self, entry: ProfileEntry) -> None:
+        """The hill-climb relocated to a better neighbor."""
+        if self.enabled:
+            self._log("move", config=entry.config.label(),
+                      runtime=entry.runtime)
+
+    def certify_wave(self, size: int) -> None:
+        if self.enabled:
+            self._log("certify", size=size)
+
+    def done(self) -> None:
+        self.tick("done")
+
+    def tick(self, stage: str) -> None:
+        """Deliver one progress snapshot (no-op without a sink)."""
+        if self.progress is None:
+            return
+        elapsed = time.perf_counter() - self.started
+        decided = self.measured + self.pruned
+        rate = decided / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.total - decided)
+        eta = remaining / rate if rate > 0 else None
+        utilization = None
+        if self.observation is not None and elapsed > 0 and self.busy_s > 0:
+            utilization = min(1.0,
+                              self.busy_s / (elapsed * max(1, self.workers)))
+        self.progress(SweepProgress(
+            stage=stage, platform=self.platform, total_configs=self.total,
+            measured=self.measured, pruned=self.pruned,
+            floor_runs=self.floor_runs, elapsed_s=elapsed,
+            configs_per_s=rate, eta_s=eta, workers=self.workers,
+            worker_utilization=utilization))
+
+
+# ---------------------------------------------------------------------------
 # Profiler
 # ---------------------------------------------------------------------------
 
@@ -455,7 +785,8 @@ class Profiler:
                  mechanisms: Sequence[str] = ALL_MECHANISMS,
                  search: str = "coordinate",
                  backend: Optional[ExecutorBackend] = None,
-                 prune: bool = False) -> None:
+                 prune: bool = False,
+                 progress: ProgressSink = None) -> None:
         if search not in SEARCH_MODES:
             raise ProactError(
                 f"unknown search mode {search!r}; "
@@ -477,6 +808,9 @@ class Profiler:
         self.search_mode = search
         self.backend = backend or SerialBackend()
         self.prune = prune
+        #: Live-progress sink: True for stderr, or a callback taking
+        #: :class:`SweepProgress` snapshots (independent of capture).
+        self.progress = progress
 
     def sweep_signature(self) -> str:
         """Canonical identifier of this sweep's full search space.
@@ -501,9 +835,55 @@ class Profiler:
             signature += "|pruned"
         return signature
 
-    def _open_session(self, phase_builder: PhaseBuilder) -> TaskSession:
-        """One warm session per sweep: platform + builder ship once."""
-        fn = functools.partial(_sweep_task, self.platform, phase_builder)
+    def _progress_sink(self) -> Optional[Callable[[SweepProgress], None]]:
+        if callable(self.progress):
+            return self.progress
+        if self.progress:
+            return _stderr_progress
+        return None
+
+    def _planned_configs(self) -> int:
+        """How many grid candidates this sweep will decide on (ETA math).
+
+        Coordinate search never visits the full grid: per non-inline
+        mechanism it measures one chunk sweep at the top thread count
+        plus the remaining thread counts at the winning chunk.
+        """
+        if self.search_mode == "coordinate":
+            total = 0
+            for mechanism in self.mechanisms:
+                if mechanism == MECH_INLINE:
+                    total += 1
+                else:
+                    total += len(self.chunk_sizes) + len(self.thread_counts) - 1
+            return total
+        return len(self._full_grid())
+
+    def _sweep_telemetry(self) -> _SweepTelemetry:
+        """Per-sweep telemetry controller (inert unless opted in)."""
+        observation = active_observation()
+        if observation is not None and not observation.sweeps:
+            observation = None
+        return _SweepTelemetry(observation, self._progress_sink(),
+                               total=self._planned_configs(),
+                               workers=max(1, self.backend.parallelism),
+                               platform=self.platform.name)
+
+    def _open_session(self, phase_builder: PhaseBuilder,
+                      telemetry: Optional[_SweepTelemetry] = None,
+                      ) -> TaskSession:
+        """One warm session per sweep: platform + builder ship once.
+
+        Under ``capture(sweeps=True)`` the task function is wrapped in
+        :class:`_TelemetryFn` (workers stamp timing envelopes) and the
+        session in :class:`_TelemetrySession` (the parent unwraps and
+        merges them); otherwise both layers are absent entirely.
+        """
+        fn: Callable[[Any], Any] = functools.partial(
+            _sweep_task, self.platform, phase_builder)
+        if telemetry is not None and telemetry.observation is not None:
+            return telemetry.wrap_session(
+                self.backend.open_session(_TelemetryFn(fn)))
         return self.backend.open_session(fn)
 
     def profile(self, phase_builder: PhaseBuilder) -> ProfileResult:
@@ -516,15 +896,17 @@ class Profiler:
         best granularity.  ``search="search"`` dispatches to
         :meth:`search`; ``prune=True`` to the best-first pruned sweep.
         """
-        with self._open_session(phase_builder) as session:
+        telemetry = self._sweep_telemetry()
+        with self._open_session(phase_builder, telemetry) as session:
             if self.search_mode == "search":
-                return self._profile_search(session)
+                return self._profile_search(session, telemetry)
             if self.prune:
-                return self._profile_pruned(session)
+                return self._profile_pruned(session, telemetry)
             first_wave = {mechanism: self._first_wave(mechanism)
                           for mechanism in self.mechanisms}
             measured = self._split_by_mechanism(
-                first_wave, self._measure_wave(first_wave, session))
+                first_wave,
+                self._measure_wave(first_wave, session, telemetry))
 
             if self.search_mode == "coordinate":
                 second_wave = {
@@ -532,10 +914,12 @@ class Profiler:
                                                   measured[mechanism])
                     for mechanism in self.mechanisms}
                 second = self._split_by_mechanism(
-                    second_wave, self._measure_wave(second_wave, session))
+                    second_wave,
+                    self._measure_wave(second_wave, session, telemetry))
                 for mechanism in self.mechanisms:
                     measured[mechanism].extend(second[mechanism])
 
+            telemetry.done()
             return ProfileResult(entries=[
                 entry for mechanism in self.mechanisms
                 for entry in measured[mechanism]])
@@ -553,8 +937,9 @@ class Profiler:
         ``floor > incumbent`` makes the result provably identical to the
         exhaustive argmin (including tie-breaks).
         """
-        with self._open_session(phase_builder) as session:
-            return self._profile_search(session)
+        telemetry = self._sweep_telemetry()
+        with self._open_session(phase_builder, telemetry) as session:
+            return self._profile_search(session, telemetry)
 
     # ------------------------------------------------------------------
     # Grid helpers
@@ -573,12 +958,17 @@ class Profiler:
         return grid
 
     def _floors(self, candidates: Sequence[ProactConfig],
-                session: TaskSession) -> Dict[ProactConfig, float]:
+                session: TaskSession,
+                telemetry: Optional[_SweepTelemetry] = None,
+                ) -> Dict[ProactConfig, float]:
         """Infinite-bandwidth lower bounds for every candidate."""
         with suppress_observation():
             floors = session.map([_floor_task(config)
                                   for config in candidates])
-        return dict(zip(candidates, floors))
+        floors_map = dict(zip(candidates, floors))
+        if telemetry is not None:
+            telemetry.floors_done(floors_map)
+        return floors_map
 
     def _best_first(self, candidates: Sequence[ProactConfig],
                     floors: Dict[ProactConfig, float],
@@ -590,7 +980,8 @@ class Profiler:
     # ------------------------------------------------------------------
     # Lower-bound pruning (exhaustive search only)
     # ------------------------------------------------------------------
-    def _profile_pruned(self, session: TaskSession) -> ProfileResult:
+    def _profile_pruned(self, session: TaskSession,
+                        telemetry: _SweepTelemetry) -> ProfileResult:
         """Best-first exhaustive sweep under the infinite-BW lower bound.
 
         Skips a candidate only when ``floor > incumbent`` *strictly*, so
@@ -601,7 +992,7 @@ class Profiler:
         one reproduces the classic sequential pruning loop.
         """
         candidates = self._full_grid()
-        floors = self._floors(candidates, session)
+        floors = self._floors(candidates, session, telemetry)
         ordered = self._best_first(candidates, floors)
         wave_size = max(1, self.backend.parallelism)
 
@@ -616,6 +1007,8 @@ class Profiler:
                 cursor += 1
                 if floors[config] > incumbent:
                     pruned += 1
+                    telemetry.pruned_config(config, floors[config],
+                                            incumbent)
                     continue
                 wave.append(config)
             if not wave:
@@ -624,9 +1017,12 @@ class Profiler:
                 measured = session.map([_measure_task(config)
                                         for config in wave])
             entries.extend(measured)
+            telemetry.measured_entries(measured)
             incumbent = min(incumbent,
                             min(entry.runtime for entry in measured))
+            telemetry.tick("measure")
         self._observe_entries(entries)
+        telemetry.done()
         return ProfileResult(entries=entries, pruned_configs=pruned,
                              floor_runs=len(candidates))
 
@@ -665,17 +1061,18 @@ class Profiler:
                                       config.transfer_threads))
         return moves
 
-    def _profile_search(self, session: TaskSession) -> ProfileResult:
+    def _profile_search(self, session: TaskSession,
+                        telemetry: _SweepTelemetry) -> ProfileResult:
         """The floor-seeded rung + hill-climb + certification loop."""
         candidates = self._full_grid()
-        floors = self._floors(candidates, session)
+        floors = self._floors(candidates, session, telemetry)
         ranked = self._best_first(candidates, floors)
         wave_size = max(1, self.backend.parallelism)
 
         entries: List[ProfileEntry] = []
         measured: Dict[ProactConfig, ProfileEntry] = {}
 
-        def measure(configs: Sequence[ProactConfig]) -> None:
+        def measure(configs: Sequence[ProactConfig], stage: str) -> None:
             fresh = [config for config in configs
                      if config not in measured]
             if not fresh:
@@ -686,10 +1083,13 @@ class Profiler:
             for entry in batch:
                 measured[entry.config] = entry
                 entries.append(entry)
+            telemetry.measured_entries(batch)
+            telemetry.tick(stage)
 
         # Opening rung: the floor ranking's head (the floor model's bet).
         rung = min(len(ranked), max(4, 2 * wave_size))
-        measure(ranked[:rung])
+        telemetry.rung(rung)
+        measure(ranked[:rung], "rung")
         best = min(entries, key=_entry_order)
 
         # Hill-climb the incumbent's neighborhood until it stops moving.
@@ -700,11 +1100,12 @@ class Profiler:
                      and floors[config] <= incumbent]
             if not moves:
                 break
-            measure(moves)
+            measure(moves, "climb")
             improved = min(entries, key=_entry_order)
             if improved.config == best.config:
                 break
             best = improved
+            telemetry.move(best)
 
         # Certification: any unmeasured candidate whose floor does not
         # strictly exceed the incumbent could still win — measure them,
@@ -718,14 +1119,18 @@ class Profiler:
                 config = remaining[cursor]
                 cursor += 1
                 if floors[config] > incumbent:
+                    telemetry.pruned_config(config, floors[config],
+                                            incumbent)
                     continue
                 wave.append(config)
             if not wave:
                 continue
-            measure(wave)
+            telemetry.certify_wave(len(wave))
+            measure(wave, "certify")
             incumbent = min(entry.runtime for entry in entries)
 
         self._observe_entries(entries)
+        telemetry.done()
         return ProfileResult(
             entries=entries,
             pruned_configs=len(candidates) - len(entries),
@@ -758,7 +1163,9 @@ class Profiler:
                 for threads in self.thread_counts[:-1]]
 
     def _measure_wave(self, wave: Dict[str, List[ProactConfig]],
-                      session: TaskSession) -> List[ProfileEntry]:
+                      session: TaskSession,
+                      telemetry: Optional[_SweepTelemetry] = None,
+                      ) -> List[ProfileEntry]:
         flat = [config for mechanism in self.mechanisms
                 for config in wave[mechanism]]
         # Candidate measurements build hundreds of throwaway systems;
@@ -769,6 +1176,9 @@ class Profiler:
         with suppress_observation():
             entries = session.map([_measure_task(config)
                                    for config in flat])
+        if telemetry is not None:
+            telemetry.measured_entries(entries)
+            telemetry.tick("measure")
         self._observe_entries(entries)
         return entries
 
@@ -824,9 +1234,10 @@ class ParallelProfiler(Profiler):
                  mechanisms: Sequence[str] = ALL_MECHANISMS,
                  search: str = "coordinate",
                  jobs: int = 2,
-                 prune: bool = False) -> None:
+                 prune: bool = False,
+                 progress: ProgressSink = None) -> None:
         super().__init__(platform, chunk_sizes=chunk_sizes,
                          thread_counts=thread_counts, mechanisms=mechanisms,
                          search=search, backend=ProcessPoolBackend(jobs),
-                         prune=prune)
+                         prune=prune, progress=progress)
         self.jobs = jobs

@@ -55,6 +55,12 @@ class ExperimentContext:
     sweep, so existing tables are byte-identical unless explicitly
     overridden (``--profile-strategy`` / ``--profile-jobs`` on the
     runner CLI).
+
+    ``sweeps`` additionally captures profiler sweep telemetry (worker
+    lanes, the search/prune decision log, sweep histograms — see
+    :mod:`repro.obs.capture`); it implies ``observe`` when the runner
+    builds the context, and the decision-log export travels back on
+    :attr:`ExperimentResult.decisions`.
     """
 
     quick: bool = True
@@ -62,6 +68,7 @@ class ExperimentContext:
     validate: bool = False
     profile_strategy: str = "coordinate"
     profile_jobs: int = 1
+    sweeps: bool = False
 
     @property
     def micro_bytes(self) -> int:
@@ -83,6 +90,8 @@ class ExperimentResult:
     trace: Optional[Dict] = None
     #: Metrics snapshot captured when the context asked to observe.
     metrics: Optional[Dict] = None
+    #: Decision-log export captured when the context asked for sweeps.
+    decisions: Optional[List[Dict]] = None
     #: Sanitizer summary captured when the context asked to validate.
     validation: Optional[Dict] = None
     #: Set when the experiment raised instead of producing tables; the
@@ -117,6 +126,8 @@ class ExperimentResult:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.decisions is not None:
+            payload["decisions"] = self.decisions
         if self.validation is not None:
             payload["validation"] = self.validation
         if self.error is not None:
@@ -215,13 +226,16 @@ def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
     # policy; its ambient scopes wrap the harness exactly as the old
     # nested capture()/validation() blocks did.
     from repro.api import Session
-    session = Session(trace=ctx.observe, validate=ctx.validate)
+    session = Session(trace=ctx.observe, sweeps=ctx.sweeps,
+                      validate=ctx.validate)
     try:
         with session.scope():
             result = spec.run(ctx)
-        if ctx.observe:
+        if ctx.observe or ctx.sweeps:
             result.trace = session.chrome_trace()
             result.metrics = session.metrics.snapshot()
+        if ctx.sweeps and session.decisions is not None:
+            result.decisions = session.decisions.export()
         if ctx.validate:
             result.validation = session.validation_summary()
     except Exception as exc:  # noqa: BLE001 - suite must outlive one failure

@@ -16,6 +16,7 @@ Command line::
     python -m repro.experiments.runner [--full | --quick] [--jobs N]
                                        [--only NAME ...] [--json PATH]
                                        [--trace PATH] [--metrics PATH]
+                                       [--report PATH] [--sweep-telemetry]
                                        [--validate] [--list]
                                        [--profile-strategy MODE]
                                        [--profile-jobs N]
@@ -25,6 +26,13 @@ experiments and writes one merged Chrome-trace JSON (open it at
 https://ui.perfetto.dev); ``--metrics`` writes the aggregated metrics
 registry snapshots.  Either flag turns observation on; captured metrics
 are also merged into the ``--json`` results schema.
+
+``--sweep-telemetry`` additionally captures profiler sweep telemetry —
+per-worker activity lanes in the trace, the search/prune decision log,
+and sweep latency histograms (see ``docs/OBSERVABILITY.md``).
+``--report`` distills everything captured into one run report
+(markdown, or JSON when the path ends in ``.json``); it implies
+observation, and pairs naturally with ``--sweep-telemetry``.
 
 ``--validate`` runs every experiment under the simulation sanitizers
 (:mod:`repro.validate`): readiness ordering and byte conservation are
@@ -154,11 +162,32 @@ def write_metrics_json(path: pathlib.Path,
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def write_run_report(path: pathlib.Path,
+                     results: Sequence[ExperimentResult],
+                     quick: bool, jobs: int,
+                     total_elapsed: float) -> None:
+    """Distill the run into one report artifact (markdown or JSON)."""
+    from repro.obs.report import build_run_report, write_report
+    experiments = []
+    for result in results:
+        entry = result.to_dict()
+        entry["trace"] = result.trace
+        entry["decisions"] = result.decisions
+        experiments.append(entry)
+    report = build_run_report(
+        experiments, title="repro experiment run",
+        suite={"quick": quick, "jobs": jobs,
+               "total_elapsed_s": round(total_elapsed, 3)})
+    write_report(path, report)
+
+
 def run_all(quick: bool = True, out: Optional[TextIO] = None,
             jobs: int = 1, only: Optional[Sequence[str]] = None,
             json_path: Optional[str] = None,
             trace_path: Optional[str] = None,
             metrics_path: Optional[str] = None,
+            report_path: Optional[str] = None,
+            sweep_telemetry: bool = False,
             validate: bool = False,
             profile_strategy: str = "coordinate",
             profile_jobs: int = 1) -> List[ExperimentResult]:
@@ -172,7 +201,10 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     ``json_path`` additionally writes the structured results summary.
     ``trace_path``/``metrics_path`` turn on observation and write the
     merged Chrome trace / metrics snapshots; the printed tables are
-    byte-identical with observation on or off.  ``validate=True`` runs
+    byte-identical with observation on or off.  ``report_path`` (also
+    observation-implying) writes the distilled run report;
+    ``sweep_telemetry=True`` captures the profiler's worker lanes and
+    decision log alongside.  ``validate=True`` runs
     every experiment under the readiness/conservation sanitizers; a
     tripped invariant records as that experiment's failure.
     ``profile_strategy``/``profile_jobs`` select the profiler search
@@ -181,11 +213,13 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     """
     stream = out or sys.stdout
     names = [spec.name for spec in select_specs(only)]
-    observe = trace_path is not None or metrics_path is not None
+    observe = (trace_path is not None or metrics_path is not None
+               or report_path is not None or sweep_telemetry)
     ctx = ExperimentContext(quick=quick, observe=observe,
                             validate=validate,
                             profile_strategy=profile_strategy,
-                            profile_jobs=profile_jobs)
+                            profile_jobs=profile_jobs,
+                            sweeps=sweep_telemetry)
 
     started = time.perf_counter()
     if jobs > 1 and len(names) > 1:
@@ -201,6 +235,9 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
         write_trace_json(pathlib.Path(trace_path), results)
     if metrics_path is not None:
         write_metrics_json(pathlib.Path(metrics_path), results)
+    if report_path is not None:
+        write_run_report(pathlib.Path(report_path), results, quick, jobs,
+                         total_elapsed)
     return results
 
 
@@ -233,6 +270,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--metrics", metavar="PATH",
         help="capture and write per-experiment metrics snapshots to PATH")
     parser.add_argument(
+        "--report", metavar="PATH",
+        help="write a distilled run report to PATH (markdown, or JSON "
+             "when PATH ends in .json); implies observation")
+    parser.add_argument(
+        "--sweep-telemetry", action="store_true",
+        help="capture profiler sweep telemetry: per-worker trace lanes, "
+             "the search/prune decision log, and sweep histograms")
+    parser.add_argument(
         "--validate", action="store_true",
         help="run every experiment under the readiness/conservation "
              "sanitizers; a tripped invariant fails the suite")
@@ -262,7 +307,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     results = run_all(quick=args.quick, jobs=args.jobs, only=args.only,
                       json_path=args.json, trace_path=args.trace,
-                      metrics_path=args.metrics, validate=args.validate,
+                      metrics_path=args.metrics, report_path=args.report,
+                      sweep_telemetry=args.sweep_telemetry,
+                      validate=args.validate,
                       profile_strategy=args.profile_strategy,
                       profile_jobs=args.profile_jobs)
     failures = suite_failures(results)

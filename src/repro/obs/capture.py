@@ -14,25 +14,49 @@ threads each see their own observation (or none).  :func:`suppress`
 masks the ambient scope — the profiler uses it so that configuration
 sweeps (hundreds of throwaway systems) do not flood the trace, keeping
 observed runs identical across serial and process-pool backends.
+
+Sweep telemetry is a separate, explicit opt-in: ``capture(sweeps=True)``
+(or ``Session(sweeps=True)``).  The *simulated* candidate runs stay
+suppressed either way — that contract is what keeps sweep results
+byte-identical and cheap — but with ``sweeps`` enabled the profiler
+additionally streams its own telemetry into the observation: per-worker
+activity lanes (``sweep.worker{N}`` channels on the ambient tracer), a
+typed :class:`~repro.obs.decisions.DecisionLog` mirrored on the
+``decision`` channel, and batch/queue-wait/candidate-runtime histograms
+in the shared registry.  With ``sweeps`` off (the default), a capture
+around ``Profiler.profile`` sees exactly what it always saw: the
+post-hoc per-candidate summary on the ``profiler`` channel and nothing
+else.
 """
 
 from __future__ import annotations
 
 import contextvars
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.chrome_trace import export_chrome_trace
+from repro.obs.decisions import DecisionLog
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.trace import Tracer
 
 
 class Observation:
-    """A capture in progress: labelled per-system tracers + metrics."""
+    """A capture in progress: labelled per-system tracers + metrics.
 
-    def __init__(self, trace: bool = True, verbose: bool = False) -> None:
+    ``sweeps=True`` opts into profiler sweep telemetry (worker lanes,
+    decision log, sweep histograms); see the module docstring for the
+    exact contract.  ``epoch`` anchors every wall-clock lane (worker
+    spans, decision instants) so the exported document starts near 0.
+    """
+
+    def __init__(self, trace: bool = True, verbose: bool = False,
+                 sweeps: bool = False) -> None:
         self.trace_enabled = trace
         self.verbose = verbose
+        self.sweeps = sweeps
+        self.epoch = time.time()
         self.metrics = MetricsRegistry()
         self.traces: List[Tuple[str, Tracer]] = []
         # Off-clock lanes (e.g. the profiler's per-candidate sweep
@@ -40,6 +64,8 @@ class Observation:
         self.ambient_tracer = Tracer(enabled=trace, verbose=verbose)
         if trace:
             self.traces.append(("capture", self.ambient_tracer))
+        self.decisions = DecisionLog(tracer=self.ambient_tracer,
+                                     epoch=self.epoch)
 
     def new_tracer(self, label: str) -> Tracer:
         """A fresh tracer registered under ``label`` (one per system)."""
@@ -59,10 +85,11 @@ class Observation:
         return export_chrome_trace(self.traces)
 
     def export(self) -> Dict:
-        """Picklable summary: the Chrome document plus metrics snapshot."""
+        """Picklable summary: Chrome document, metrics, decision log."""
         return {
             "trace": self.chrome_trace(),
             "metrics": self.metrics.snapshot(),
+            "decisions": self.decisions.export(),
         }
 
 
@@ -77,7 +104,8 @@ def active() -> Optional[Observation]:
 
 @contextmanager
 def capture(trace: bool = True,
-            verbose: bool = False) -> Iterator[Observation]:
+            verbose: bool = False,
+            sweeps: bool = False) -> Iterator[Observation]:
     """Observe every system built inside the scope.
 
     ::
@@ -85,8 +113,16 @@ def capture(trace: bool = True,
         with capture() as obs:
             fig9_overlap.run()
         write_chrome_trace("trace.json", obs.chrome_trace())
+
+    ``sweeps=True`` additionally captures profiler sweep telemetry
+    (worker lanes, decision log, sweep histograms)::
+
+        with capture(sweeps=True) as obs:
+            Profiler(platform, search="exhaustive").profile(builder)
+        assert obs.decisions.count("measure")
     """
-    with observing(Observation(trace=trace, verbose=verbose)) as observation:
+    with observing(Observation(trace=trace, verbose=verbose,
+                               sweeps=sweeps)) as observation:
         yield observation
 
 

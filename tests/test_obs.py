@@ -99,6 +99,98 @@ def test_null_metrics_is_noop():
 
 
 # ---------------------------------------------------------------------------
+# Histograms: quantiles and cross-process merging
+# ---------------------------------------------------------------------------
+
+def test_histogram_quantiles_within_bucket_error():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram()
+    values = [float(v) for v in range(1, 101)]  # 1..100
+    for value in values:
+        histogram.observe(value)
+    assert histogram.count == 100
+    assert histogram.minimum == 1.0 and histogram.maximum == 100.0
+    # Exponential buckets grow by 2**0.25, so quantile estimates land
+    # within ~±10% of the exact nearest-rank answer.
+    for q, exact in ((0.50, 50.0), (0.90, 90.0), (0.99, 99.0)):
+        assert histogram.quantile(q) == pytest.approx(exact, rel=0.13)
+    assert histogram.quantile(0.0) == pytest.approx(1.0, rel=0.13)
+    assert histogram.quantile(1.0) <= 100.0  # clamped to observed max
+
+
+def test_histogram_single_sample_and_underflow():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram()
+    histogram.observe(5.0)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert histogram.quantile(q) == 5.0  # clamped to [min, max]
+
+    mixed = Histogram()
+    mixed.observe(0.0)  # zero duration → underflow bucket
+    mixed.observe(4.0)
+    assert mixed.underflow == 1
+    assert mixed.quantile(0.25) == 0.0
+    assert mixed.as_dict()["p99"] == pytest.approx(4.0, rel=0.13)
+
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_merge_is_exact_on_counts():
+    from repro.obs.metrics import Histogram
+
+    left, right, together = Histogram(), Histogram(), Histogram()
+    for value in (1.0, 2.0, 3.0):
+        left.observe(value)
+        together.observe(value)
+    for value in (10.0, 20.0):
+        right.observe(value)
+        together.observe(value)
+    left.merge(right)
+    assert left.count == together.count == 5
+    assert left.total == pytest.approx(together.total)
+    assert left.buckets == together.buckets
+    assert left.as_dict() == together.as_dict()
+
+
+def test_registry_merge_folds_worker_registry():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.inc("tasks", 1)
+    worker.inc("tasks", 2)
+    worker.set_gauge("g", 7.0)
+    worker.observe("lat_ms", 3.0, kind="measure")
+    with worker.phase("sweep"):
+        worker.inc("tasks", 4)
+    parent.merge(worker)
+    assert parent.get("tasks") == 7
+    assert parent.get_gauge("g") == 7.0
+    assert parent.get_histogram("lat_ms", kind="measure").count == 1
+    assert parent.snapshot()["phases"]["sweep"] == {"tasks": 4.0}
+
+
+def test_registry_merge_mid_phase_does_not_mislabel():
+    """Satellite regression: merging inside an open phase scope must not
+    attribute the worker's samples to the parent's current phase."""
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    worker.inc("tasks", 5)
+    with parent.phase("parent-phase"):
+        parent.inc("own", 1)
+        parent.merge(worker)
+    phases = parent.snapshot()["phases"]
+    assert phases["parent-phase"] == {"own": 1.0}  # no leaked "tasks"
+    assert parent.get("tasks") == 5  # run-wide total still folded in
+
+
+def test_registry_merge_into_disabled_is_noop():
+    disabled, worker = MetricsRegistry(enabled=False), MetricsRegistry()
+    worker.inc("tasks", 3)
+    disabled.merge(worker)
+    assert disabled.snapshot()["counters"] == {}
+
+
+# ---------------------------------------------------------------------------
 # Chrome-trace exporter
 # ---------------------------------------------------------------------------
 
@@ -164,6 +256,97 @@ def test_merge_chrome_traces_rebases_pids():
 
 def test_tracer_events_empty_tracer():
     assert tracer_events(Tracer()) == []
+
+
+# ---------------------------------------------------------------------------
+# Decision log: typed events + Chrome-trace channel (golden file)
+# ---------------------------------------------------------------------------
+
+def _scripted_decision_log(tracer=None):
+    """A deterministic mini-sweep decision stream (clock is scripted)."""
+    from repro.obs.decisions import DecisionLog
+
+    ticks = iter(0.25 * step for step in range(32))
+    log = DecisionLog(tracer=tracer, epoch=0.0, clock=lambda: next(ticks))
+    log.log("floors", count=3, min_floor=0.5, max_floor=2.0)
+    log.log("measure", config="D 4kB 64 Poll", runtime=1.5)
+    log.log("incumbent", config="D 4kB 64 Poll", runtime=1.5)
+    log.log("prune", config="D 8kB 64 Poll", floor=1.75, incumbent=1.5)
+    log.log("measure", config="I 4kB", runtime=1.25)
+    log.log("incumbent", config="I 4kB", runtime=1.25)
+    return log
+
+
+def test_decision_log_queries_and_export():
+    log = _scripted_decision_log()
+    assert len(log) == 6
+    assert log.count("measure") == 2 and log.count("prune") == 1
+    assert [e.kind for e in log.select("incumbent")] == ["incumbent"] * 2
+    assert log.final_incumbent().config == "I 4kB"
+    summary = log.summary()
+    assert summary["best_config"] == "I 4kB"
+    assert summary["best_runtime"] == 1.25
+    assert summary["counts"]["measure"] == 2
+    exported = json.loads(json.dumps(log.export()))  # JSON-ready
+    assert [e["seq"] for e in exported] == list(range(6))
+
+    with pytest.raises(ValueError):
+        log.log("not-a-kind")
+
+
+def test_decision_log_chrome_channel_golden_file(tmp_path):
+    """The decision channel's Chrome export, pinned byte-for-byte."""
+    import pathlib
+
+    tracer = Tracer()
+    _scripted_decision_log(tracer=tracer)
+    document = export_chrome_trace([("sweep", tracer)])
+    decision_events = [e for e in document["traceEvents"]
+                       if e.get("cat") == "decision"]
+    assert len(decision_events) == 6
+    assert all(e["ph"] == "i" and e["pid"] == 0 and e["tid"] == "decision"
+               for e in decision_events)
+
+    golden_path = pathlib.Path(__file__).parent / "data" / \
+        "decision_trace.json"
+    rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if not golden_path.exists():  # bootstrap: write once, then pin
+        golden_path.write_text(rendered)
+    assert rendered == golden_path.read_text()
+
+
+def _worker_lane_tracer():
+    """A capture-shaped tracer: gpu lanes + sweep worker lanes."""
+    tracer = _sample_tracer()
+    tracer.span(0.01, 0.02, "sweep.worker0", "measure D/c4096/t64",
+                payload={"kind": "measure"})
+    tracer.span(0.01, 0.03, "sweep.worker1", "batch", payload={"tasks": 2})
+    return tracer
+
+
+def test_multi_document_merge_keeps_worker_lanes_per_run():
+    """Satellite: per-worker lanes survive multi-document merging.
+
+    Two exported documents (two experiments' captures) merge into one
+    with disjoint pid blocks; each run's ``sweep.worker{N}`` tids stay
+    on that run's sim process, so Perfetto shows one worker-lane group
+    per experiment instead of mixing them.
+    """
+    one = export_chrome_trace([("exp-a", _worker_lane_tracer())])
+    two = export_chrome_trace([("exp-b", _worker_lane_tracer())])
+    merged = merge_chrome_traces([one, two])
+
+    worker_events = [e for e in merged["traceEvents"]
+                     if str(e["tid"]).startswith("sweep.worker")]
+    assert len(worker_events) == 4
+    pids = sorted({e["pid"] for e in worker_events})
+    assert len(pids) == 2  # one sim process per source document
+    # The second document's sim process was rebased past the first
+    # document's pid block (sim + gpu0 + gpu1 = 3 pids).
+    assert pids[1] == pids[0] + 3
+    for pid in pids:
+        tids = {e["tid"] for e in worker_events if e["pid"] == pid}
+        assert tids == {"sweep.worker0", "sweep.worker1"}
 
 
 # ---------------------------------------------------------------------------

@@ -258,6 +258,98 @@ def test_context_carries_profile_strategy_defaults():
     ctx = ExperimentContext(quick=True)
     assert ctx.profile_strategy == "coordinate"
     assert ctx.profile_jobs == 1
+    assert ctx.sweeps is False
+
+
+# ---------------------------------------------------------------------------
+# --report and --sweep-telemetry
+# ---------------------------------------------------------------------------
+
+def test_run_all_writes_markdown_report(tmp_path):
+    report_path = tmp_path / "report.md"
+    results = runner.run_all(quick=True, only=["table1"],
+                             out=io.StringIO(),
+                             report_path=str(report_path))
+    text = report_path.read_text()
+    assert text.startswith("# repro experiment run")
+    assert "Table I" in text
+    # --report implies observation: the trace travelled back.
+    assert results[0].trace is not None
+
+
+def test_run_all_writes_json_report(tmp_path):
+    report_path = tmp_path / "report.json"
+    runner.run_all(quick=True, only=["table1"], out=io.StringIO(),
+                   report_path=str(report_path))
+    report = json.loads(report_path.read_text())
+    assert report["totals"]["experiments"] == 1
+    assert report["totals"]["failures"] == 0
+    assert report["experiments"][0]["name"] == "table1"
+    assert report["experiments"][0]["trace"]["events"] >= 0
+    assert report["suite"]["quick"] is True
+
+
+def test_sweep_telemetry_context_carries_decisions(monkeypatch):
+    """A sweeping experiment run under ctx.sweeps ships its decision
+    log back on the (picklable) result and into the run report."""
+    def experiment(ctx):
+        from repro.core import Profiler
+        from repro.hw import PLATFORM_4X_VOLTA
+        from repro.units import KiB
+        from tests.conftest import small_pagerank
+
+        profiler = Profiler(PLATFORM_4X_VOLTA,
+                            chunk_sizes=(256 * KiB,),
+                            thread_counts=(2048,),
+                            search="exhaustive")
+        profile = profiler.profile(small_pagerank(iterations=1)
+                                   .phase_builder())
+        table = TextTable("Sweep", ["configs"])
+        table.add_row(len(profile.entries))
+        return ExperimentResult.build("sweepy", "Sweepy", [table], {})
+
+    _register_fake(monkeypatch, "sweepy", experiment)
+    result = run_experiment("sweepy",
+                            ExperimentContext(quick=True, observe=True,
+                                              sweeps=True))
+    assert result.error is None
+    assert result.decisions, "decision log must travel on the result"
+    kinds = {event["kind"] for event in result.decisions}
+    assert "measure" in kinds
+    assert result.to_dict()["decisions"] == result.decisions
+    # The merged trace carries the worker lane and decision channel.
+    tids = {e["tid"] for e in result.trace["traceEvents"]}
+    assert "decision" in tids
+    assert any(str(tid).startswith("sweep.worker") for tid in tids)
+
+    # And the run report renders the decision summary.
+    from repro.obs.report import build_run_report, render_markdown
+    entry = result.to_dict()
+    entry["trace"] = result.trace
+    report = build_run_report([entry])
+    markdown = render_markdown(report)
+    assert "Sweep decisions" in markdown
+
+
+def test_sweeps_off_leaves_decisions_unset():
+    result = run_experiment("table1", ExperimentContext(quick=True,
+                                                        observe=True))
+    assert result.decisions is None
+    assert "decisions" not in result.to_dict()
+
+
+def test_cli_report_and_sweep_telemetry_flags_reach_run_all(monkeypatch):
+    seen = {}
+
+    def fake_run_all(**kwargs):
+        seen.update(kwargs)
+        return [ExperimentResult(name="a", label="A", tables=["t"], rows=1)]
+
+    monkeypatch.setattr(runner, "run_all", fake_run_all)
+    assert runner.main(["--only", "table1", "--report", "out.md",
+                        "--sweep-telemetry"]) == 0
+    assert seen["report_path"] == "out.md"
+    assert seen["sweep_telemetry"] is True
 
 
 # ---------------------------------------------------------------------------
