@@ -1,0 +1,91 @@
+"""Benchmark: cluster all-reduce scaling to 1024 simulated GPUs.
+
+Records the cluster datapoint of the bench trajectory
+(``benchmarks/results/BENCH_cluster.json``): engine event throughput
+and all-reduce bus bandwidth for the flat ring vs. the hierarchical
+schedule at 64, 256, and 1024 GPUs (4/16/64 DGX-2 nodes over a fat
+tree), and runs the full differential oracle — schedule verifier,
+readiness sanitizer, conservation checker, closed-form byte
+expectations — on the 1024-GPU hierarchical all-reduce.
+"""
+
+import json
+import time
+
+from repro.cluster import cluster_platform, hierarchical_sent_bytes
+from repro.collectives.algorithms import build_schedule
+from repro.collectives.executor import CollectiveExecutor
+from repro.runtime.system import System
+from repro.units import MiB
+from repro.validate.oracle import DifferentialOracle
+
+NODE_COUNTS = (4, 16, 64)  # 64 / 256 / 1024 GPUs
+BENCH_PAYLOAD = 16 * MiB
+BENCH_CHUNK = 1 * MiB
+
+
+def _run(platform, algorithm):
+    """One collective on a fresh system; returns (result, events/sec)."""
+    system = System(platform)
+    schedule = build_schedule(
+        "all_reduce", algorithm, system.num_gpus, BENCH_PAYLOAD,
+        BENCH_CHUNK, gpus_per_node=platform.gpus_per_node)
+    proc = CollectiveExecutor(system).launch(schedule)
+    started = time.perf_counter()
+    system.run(until=proc)
+    wall = time.perf_counter() - started
+    events_per_sec = system.engine.events_fired / wall if wall > 0 else 0.0
+    return proc.value, events_per_sec, wall
+
+
+def test_cluster_scale(results_dir):
+    sizes = {}
+    for num_nodes in NODE_COUNTS:
+        platform = cluster_platform(num_nodes)
+        num_gpus = platform.num_gpus
+        ring, ring_eps, ring_wall = _run(platform, "ring")
+        hier, hier_eps, hier_wall = _run(platform, "hierarchical")
+
+        # The headline claim: the hierarchical schedule beats the flat
+        # ring across nodes at every measured size.
+        assert hier.bus_bandwidth > ring.bus_bandwidth, (
+            f"hierarchical must beat flat ring at {num_gpus} GPUs")
+        # And it sources exactly the closed-form byte count per GPU.
+        want = hierarchical_sent_bytes(BENCH_PAYLOAD, num_gpus,
+                                       platform.gpus_per_node)
+        assert all(sent == want for sent in hier.sent_bytes)
+
+        sizes[str(num_gpus)] = {
+            "ring_busbw_gbs": round(ring.bus_bandwidth / 1e9, 3),
+            "hier_busbw_gbs": round(hier.bus_bandwidth / 1e9, 3),
+            "hier_vs_ring": round(
+                hier.bus_bandwidth / ring.bus_bandwidth, 3),
+            "ring_events_per_sec": round(ring_eps),
+            "hier_events_per_sec": round(hier_eps),
+            "ring_wall_s": round(ring_wall, 3),
+            "hier_wall_s": round(hier_wall, 3),
+        }
+
+    # Full validation stack on the largest run: verifier + sanitizer +
+    # conservation + differential byte oracle at 1024 GPUs.
+    started = time.perf_counter()
+    oracle = DifferentialOracle()
+    result = oracle.check_collective(
+        cluster_platform(NODE_COUNTS[-1]), "all_reduce", "hierarchical",
+        BENCH_PAYLOAD, chunk_size=BENCH_CHUNK)
+    oracle_wall = time.perf_counter() - started
+    assert result.num_gpus == NODE_COUNTS[-1] * 16
+
+    largest = sizes[str(NODE_COUNTS[-1] * 16)]
+    datapoint = {
+        "benchmark": "cluster",
+        "payload_bytes": BENCH_PAYLOAD,
+        "chunk_bytes": BENCH_CHUNK,
+        "sizes": sizes,
+        "hier_vs_ring_1024gpu": largest["hier_vs_ring"],
+        "hier_busbw_1024gpu_gbs": largest["hier_busbw_gbs"],
+        "events_per_sec": largest["hier_events_per_sec"],
+        "oracle_1024_s": round(oracle_wall, 3),
+    }
+    path = results_dir / "BENCH_cluster.json"
+    path.write_text(json.dumps(datapoint, indent=2, sort_keys=True) + "\n")

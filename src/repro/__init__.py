@@ -40,6 +40,7 @@ from repro.errors import (
     ValidationError,
     WorkloadError,
 )
+from repro.cluster import ClusterPlatformSpec, cluster_platform
 from repro.hw import PLATFORMS, PlatformSpec, platform_by_name
 from repro.runtime import KernelSpec, System
 from repro.validate import validation
@@ -62,6 +63,8 @@ __all__ = [
     "PlatformSpec",
     "PLATFORMS",
     "platform_by_name",
+    "ClusterPlatformSpec",
+    "cluster_platform",
     "ReproError",
     "SimulationError",
     "ConfigurationError",

@@ -1,0 +1,124 @@
+"""Hierarchical all-reduce: intra-node rings around an inter-node ring.
+
+The schedule has three phases, all expressed over the same N global
+shards (N = total GPUs) so the standard all-reduce postcondition —
+every GPU ends holding every shard reduced over everyone — is checked
+by the unmodified :func:`~repro.collectives.schedule.verify_schedule`
+symbolic replay:
+
+1. **Intra-node reduce-scatter** — within each node, a ring over the
+   L local GPUs reduces *slot* r (the M shards ``{q*L + r}``, one per
+   node) onto local rank r.  NVLink traffic only.
+2. **Inter-node ring all-reduce over leaders** — local rank r of every
+   node forms a ring across the M nodes (M-1 reduce-scatter rounds,
+   then M-1 all-gather rounds) carrying only slot r's shards.  The L
+   concurrent leader rings split the NIC traffic evenly, and every
+   byte that crosses a NIC is already reduced over its whole node —
+   the 2(M-1)/M·S per-NIC optimum instead of the flat ring's
+   2(N-1)/N·S.
+3. **Intra-node all-gather** — the intra ring runs in reverse mode,
+   copying each fully-reduced slot around the node.
+
+Dependencies come from the builder's last-writer map, so phase
+boundaries pipeline at shard granularity: a leader ring starts on slot
+r as soon as phase 1 delivers it, while other slots are still reducing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+from repro.collectives.schedule import (
+    COLL_ALL_REDUCE,
+    MODE_COPY,
+    MODE_REDUCE,
+    ScheduleBuilder,
+)
+
+
+def build_hierarchical(builder: ScheduleBuilder) -> None:
+    """Emit the three-phase hierarchical all-reduce into ``builder``."""
+    if builder.collective != COLL_ALL_REDUCE:
+        raise CollectiveError(
+            f"hierarchical schedules support all_reduce only, "
+            f"got {builder.collective!r}")
+    per_node = builder.gpus_per_node
+    if per_node is None:
+        raise CollectiveError(
+            "hierarchical all_reduce needs gpus_per_node (run it on a "
+            "cluster platform or pass gpus_per_node explicitly)")
+    n = builder.num_gpus
+    num_nodes = n // per_node
+    if num_nodes < 2:
+        raise CollectiveError(
+            f"hierarchical all_reduce needs >= 2 nodes, got {num_nodes}")
+
+    step = 0
+    # Phase 1: intra-node ring reduce-scatter over the L slots.  In
+    # round s, local rank i forwards slot (i - s - 1) mod L — all M of
+    # its shards — to local rank i+1 for reduction.
+    for s in range(per_node - 1):
+        for node in range(num_nodes):
+            base = node * per_node
+            for i in range(per_node):
+                src = base + i
+                dst = base + (i + 1) % per_node
+                slot = (i - s - 1) % per_node
+                for q in range(num_nodes):
+                    builder.send_shard(step, src, dst, q * per_node + slot,
+                                       MODE_REDUCE)
+        step += 1
+
+    # Phase 2: per local rank r, a ring across the M node leaders.
+    # Reduce-scatter rounds first (node m forwards node (m-s-1)'s shard
+    # of slot r), then all-gather rounds (copying the freshly-completed
+    # shard onward).
+    for s in range(num_nodes - 1):
+        for node in range(num_nodes):
+            for r in range(per_node):
+                src = node * per_node + r
+                dst = ((node + 1) % num_nodes) * per_node + r
+                shard = ((node - s - 1) % num_nodes) * per_node + r
+                builder.send_shard(step, src, dst, shard, MODE_REDUCE)
+        step += 1
+    for s in range(num_nodes - 1):
+        for node in range(num_nodes):
+            for r in range(per_node):
+                src = node * per_node + r
+                dst = ((node + 1) % num_nodes) * per_node + r
+                shard = ((node - s) % num_nodes) * per_node + r
+                builder.send_shard(step, src, dst, shard, MODE_COPY)
+        step += 1
+
+    # Phase 3: intra-node ring all-gather of the fully-reduced slots.
+    for s in range(per_node - 1):
+        for node in range(num_nodes):
+            base = node * per_node
+            for i in range(per_node):
+                src = base + i
+                dst = base + (i + 1) % per_node
+                slot = (i - s) % per_node
+                for q in range(num_nodes):
+                    builder.send_shard(step, src, dst, q * per_node + slot,
+                                       MODE_COPY)
+        step += 1
+
+
+def hierarchical_sent_bytes(nbytes: int, num_gpus: int,
+                            gpus_per_node: int) -> int:
+    """Closed-form payload bytes each GPU sources (uniform by symmetry).
+
+    With S = ``nbytes`` divisible by N, L = GPUs/node, M = nodes: each
+    GPU sends (L-1)·S/L in each intra phase and 2(M-1)·S/N on its leader
+    ring, so 2(L-1)·S/L + 2(M-1)·S/N total.  The differential oracle
+    checks the executed schedule against this expectation.
+    """
+    if nbytes % num_gpus != 0:
+        raise CollectiveError(
+            f"closed form needs nbytes divisible by num_gpus: "
+            f"{nbytes} % {num_gpus} != 0")
+    per_node = gpus_per_node
+    num_nodes = num_gpus // per_node
+    shard = nbytes // num_gpus
+    intra = 2 * (per_node - 1) * num_nodes * shard
+    inter = 2 * (num_nodes - 1) * shard
+    return intra + inter

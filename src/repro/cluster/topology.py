@@ -1,0 +1,211 @@
+"""Inter-node topology builders: fat-tree and 2D/3D torus.
+
+Each builder owns the directed inter-node links (created through the
+cluster fabric's link factory so they share the NIC packet format and
+accounting) and answers path queries::
+
+    links, hops = topology.path(src_node, dst_node)
+
+``links`` are the links strictly *between* the two endpoints' NICs
+(empty when the NICs meet at a single edge switch) and ``hops`` is the
+number of switch/router traversals charged ``hop_latency`` each.
+
+Paths are mirror-symmetric by construction — ``path(b, a)`` is the
+reversed, direction-flipped image of ``path(a, b)`` — which the routing
+invariant tests pin down.  The torus uses dimension-ordered routing with
+shortest-direction (ties toward ``+``) per dimension; the fat-tree is a
+full-bisection two-level tree with a dedicated core uplink/downlink pair
+per node, so routes between disjoint node pairs are link-disjoint.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interconnect.specs import (
+    TOPOLOGY_FAT_TREE,
+    TOPOLOGY_TORUS_2D,
+    TOPOLOGY_TORUS_3D,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.interconnect.link import Link
+
+#: ``new_link(name, bandwidth) -> Link`` — provided by the fabric.
+LinkFactory = Callable[[str, float], "Link"]
+
+
+class InterNodeTopology:
+    """Base: owns inter-node links, answers ``path(src, dst)`` queries."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError(
+                f"inter-node topology needs >= 2 nodes: {num_nodes}")
+        self.num_nodes = num_nodes
+
+    def path(self, src_node: int, dst_node: int) -> Tuple[List["Link"], int]:
+        raise NotImplementedError
+
+    def _check(self, src_node: int, dst_node: int) -> None:
+        for node in (src_node, dst_node):
+            if not 0 <= node < self.num_nodes:
+                raise ConfigurationError(
+                    f"node {node} out of range 0..{self.num_nodes - 1}")
+
+
+class FatTreeTopology(InterNodeTopology):
+    """Two-level full-bisection fat-tree.
+
+    Nodes group into pods of ``ceil(sqrt(M))`` under edge switches; the
+    NIC links *are* the edge downlinks, so a same-pod path crosses just
+    the edge switch (1 hop).  Every node also gets a dedicated
+    full-bandwidth uplink/downlink pair to the core, so a cross-pod path
+    crosses edge -> core -> edge (3 hops) on links no other node shares.
+    """
+
+    def __init__(self, num_nodes: int, bandwidth: float,
+                 new_link: LinkFactory) -> None:
+        super().__init__(num_nodes)
+        self.pod_size = max(1, math.isqrt(num_nodes))
+        self.num_pods = math.ceil(num_nodes / self.pod_size)
+        self.core_up: List["Link"] = []
+        self.core_down: List["Link"] = []
+        if self.num_pods > 1:
+            for node in range(num_nodes):
+                pod = node // self.pod_size
+                self.core_up.append(
+                    new_link(f"ft:pod{pod}.n{node}->core", bandwidth))
+                self.core_down.append(
+                    new_link(f"ft:core->pod{pod}.n{node}", bandwidth))
+
+    def pod(self, node: int) -> int:
+        return node // self.pod_size
+
+    def path(self, src_node: int, dst_node: int) -> Tuple[List["Link"], int]:
+        self._check(src_node, dst_node)
+        if src_node == dst_node:
+            return [], 0
+        if self.pod(src_node) == self.pod(dst_node):
+            return [], 1
+        return [self.core_up[src_node], self.core_down[dst_node]], 3
+
+
+def torus_dims(num_nodes: int, ndims: int) -> Tuple[int, ...]:
+    """Factor a node count into a near-balanced ``ndims``-D grid.
+
+    Greedy: each axis takes the largest divisor not exceeding the
+    balanced target, so 64 nodes become (4, 4, 4) in 3D and (8, 8) in
+    2D; awkward counts degrade gracefully (6 in 3D -> (1, 2, 3)).
+    """
+    if num_nodes < 1:
+        raise ConfigurationError(f"need >= 1 node: {num_nodes}")
+    dims: List[int] = []
+    remaining = num_nodes
+    for axis in range(ndims, 1, -1):
+        target = int(round(remaining ** (1.0 / axis)))
+        best = 1
+        for cand in range(max(1, target), 0, -1):
+            if remaining % cand == 0:
+                best = cand
+                break
+        dims.append(best)
+        remaining //= best
+    dims.append(remaining)
+    return tuple(sorted(dims))
+
+
+class TorusTopology(InterNodeTopology):
+    """2D/3D torus with dimension-ordered shortest-direction routing.
+
+    One directed link per node per dimension per direction (the wrap
+    link included); a dimension of size 2 builds only the ``+`` ring so
+    no duplicate link joins the same node pair.  Paths step through
+    dimensions in order, taking the shorter way around each ring (ties
+    toward ``+``); the reverse path reuses the same node sequence
+    backwards, which makes routing mirror-symmetric.
+    """
+
+    def __init__(self, num_nodes: int, dims: Tuple[int, ...],
+                 bandwidth: float, new_link: LinkFactory) -> None:
+        super().__init__(num_nodes)
+        if math.prod(dims) != num_nodes:
+            raise ConfigurationError(
+                f"torus dims {dims} do not cover {num_nodes} nodes")
+        self.dims = dims
+        self._links: Dict[Tuple[int, int], "Link"] = {}
+        axes = "xyzw"
+        for node in range(num_nodes):
+            for dim, size in enumerate(dims):
+                if size < 2:
+                    continue
+                directions = (1,) if size == 2 else (1, -1)
+                for sign in directions:
+                    peer = self.neighbor(node, dim, sign)
+                    tag = f"{axes[dim]}{'+' if sign > 0 else '-'}"
+                    self._links[(node, peer)] = new_link(
+                        f"torus:n{node}->n{peer}[{tag}]", bandwidth)
+
+    def coords(self, node: int) -> Tuple[int, ...]:
+        out = []
+        for size in self.dims:
+            node, coord = divmod(node, size)
+            out.append(coord)
+        return tuple(out)
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        node = 0
+        for size, coord in zip(reversed(self.dims), reversed(coords)):
+            node = node * size + coord
+        return node
+
+    def neighbor(self, node: int, dim: int, sign: int) -> int:
+        coords = list(self.coords(node))
+        coords[dim] = (coords[dim] + sign) % self.dims[dim]
+        return self.node_at(tuple(coords))
+
+    def _steps(self, src_node: int, dst_node: int) -> List[Tuple[int, int]]:
+        """Directed (from, to) node hops of the canonical forward path."""
+        steps: List[Tuple[int, int]] = []
+        cur = src_node
+        target = self.coords(dst_node)
+        for dim, size in enumerate(self.dims):
+            here = self.coords(cur)[dim]
+            delta = (target[dim] - here) % size
+            if delta == 0:
+                continue
+            sign, count = (1, delta) if delta <= size - delta \
+                else (-1, size - delta)
+            for _ in range(count):
+                nxt = self.neighbor(cur, dim, sign)
+                steps.append((cur, nxt))
+                cur = nxt
+        return steps
+
+    def path(self, src_node: int, dst_node: int) -> Tuple[List["Link"], int]:
+        self._check(src_node, dst_node)
+        if src_node == dst_node:
+            return [], 0
+        if src_node < dst_node:
+            steps = self._steps(src_node, dst_node)
+        else:
+            steps = [(v, u) for (u, v)
+                     in reversed(self._steps(dst_node, src_node))]
+        return [self._links[step] for step in steps], len(steps)
+
+
+def build_inter_topology(kind: str, num_nodes: int, bandwidth: float,
+                         new_link: LinkFactory) -> InterNodeTopology:
+    """Instantiate the inter-node topology named by a cluster spec."""
+    if kind == TOPOLOGY_FAT_TREE:
+        return FatTreeTopology(num_nodes, bandwidth, new_link)
+    if kind == TOPOLOGY_TORUS_2D:
+        return TorusTopology(num_nodes, torus_dims(num_nodes, 2),
+                             bandwidth, new_link)
+    if kind == TOPOLOGY_TORUS_3D:
+        return TorusTopology(num_nodes, torus_dims(num_nodes, 3),
+                             bandwidth, new_link)
+    raise ConfigurationError(f"unknown inter-node topology {kind!r}")

@@ -20,6 +20,7 @@ Typical use, via the system entry point::
 
 from repro.collectives.algorithms import (
     ALGO_DIRECT,
+    ALGO_HIERARCHICAL,
     ALGO_RING,
     ALGO_TREE,
     ALL_ALGORITHMS,
@@ -56,6 +57,7 @@ from repro.collectives.tuner import (
 
 __all__ = [
     "ALGO_DIRECT",
+    "ALGO_HIERARCHICAL",
     "ALGO_RING",
     "ALGO_TREE",
     "ALL_ALGORITHMS",

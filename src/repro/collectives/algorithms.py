@@ -23,7 +23,7 @@ is verifiable by :func:`~repro.collectives.schedule.verify_schedule`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CollectiveError
 from repro.collectives.schedule import (
@@ -41,6 +41,10 @@ from repro.collectives.schedule import (
 ALGO_DIRECT = "direct"
 ALGO_RING = "ring"
 ALGO_TREE = "tree"
+#: Cluster-only: reduce-scatter intra-node, ring all-reduce across node
+#: leaders over the NICs, all-gather intra-node.  Built by
+#: :mod:`repro.cluster.hierarchical`; requires a node geometry.
+ALGO_HIERARCHICAL = "hierarchical"
 
 ALL_ALGORITHMS: Tuple[str, ...] = (ALGO_DIRECT, ALGO_RING, ALGO_TREE)
 
@@ -49,18 +53,28 @@ def _is_power_of_two(value: int) -> bool:
     return value > 0 and value & (value - 1) == 0
 
 
-def supported_algorithms(collective: str, num_gpus: int) -> Tuple[str, ...]:
+def supported_algorithms(collective: str, num_gpus: int,
+                         gpus_per_node: Optional[int] = None
+                         ) -> Tuple[str, ...]:
     """The algorithms available for a collective at this GPU count.
 
     The recursive halving/doubling tree schedules need a power-of-two
-    GPU count; binomial-tree broadcast works for any count.
+    GPU count; binomial-tree broadcast works for any count.  Passing a
+    cluster's ``gpus_per_node`` additionally admits ``hierarchical``
+    all-reduce when the count splits into >= 2 whole nodes.
     """
     if collective not in ALL_COLLECTIVES:
         raise CollectiveError(
             f"unknown collective {collective!r}; expected {ALL_COLLECTIVES}")
     if collective != COLL_BROADCAST and not _is_power_of_two(num_gpus):
-        return (ALGO_DIRECT, ALGO_RING)
-    return ALL_ALGORITHMS
+        supported: Tuple[str, ...] = (ALGO_DIRECT, ALGO_RING)
+    else:
+        supported = ALL_ALGORITHMS
+    if (gpus_per_node is not None and collective == COLL_ALL_REDUCE
+            and num_gpus % gpus_per_node == 0
+            and num_gpus // gpus_per_node >= 2):
+        supported = supported + (ALGO_HIERARCHICAL,)
+    return supported
 
 
 # ---------------------------------------------------------------------------
@@ -230,24 +244,30 @@ _BUILDERS: Dict[str, Callable[[ScheduleBuilder], None]] = {
 
 
 def build_schedule(collective: str, algorithm: str, num_gpus: int,
-                   nbytes: int, chunk_size: int,
-                   root: int = 0) -> CollectiveSchedule:
+                   nbytes: int, chunk_size: int, root: int = 0,
+                   gpus_per_node: Optional[int] = None) -> CollectiveSchedule:
     """Compile a collective into a dependency-tagged transfer schedule."""
     if collective not in ALL_COLLECTIVES:
         raise CollectiveError(
             f"unknown collective {collective!r}; expected {ALL_COLLECTIVES}")
-    try:
-        build = _BUILDERS[algorithm]
-    except KeyError:
-        raise CollectiveError(
-            f"unknown algorithm {algorithm!r}; "
-            f"expected one of {ALL_ALGORITHMS}") from None
-    if algorithm not in supported_algorithms(collective, num_gpus):
+    if algorithm == ALGO_HIERARCHICAL:
+        # Imported lazily: the cluster package builds on this module.
+        from repro.cluster.hierarchical import build_hierarchical as build
+    else:
+        try:
+            build = _BUILDERS[algorithm]
+        except KeyError:
+            raise CollectiveError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{ALL_ALGORITHMS + (ALGO_HIERARCHICAL,)}") from None
+    if algorithm not in supported_algorithms(collective, num_gpus,
+                                             gpus_per_node):
         raise CollectiveError(
             f"{algorithm} {collective} is unsupported on {num_gpus} GPUs "
-            "(tree reductions need a power-of-two count)")
+            "(tree reductions need a power-of-two count; hierarchical "
+            "all_reduce needs >= 2 whole nodes)")
     builder = ScheduleBuilder(collective, algorithm, num_gpus, nbytes,
-                              chunk_size, root)
+                              chunk_size, root, gpus_per_node=gpus_per_node)
     if num_gpus > 1:
         build(builder)
     return builder.build()
@@ -256,9 +276,12 @@ def build_schedule(collective: str, algorithm: str, num_gpus: int,
 def schedules_for(collective: str, num_gpus: int, nbytes: int,
                   chunk_size: int,
                   algorithms: Sequence[str] = ALL_ALGORITHMS,
-                  root: int = 0) -> Dict[str, CollectiveSchedule]:
+                  root: int = 0,
+                  gpus_per_node: Optional[int] = None
+                  ) -> Dict[str, CollectiveSchedule]:
     """Every supported algorithm's schedule for one collective."""
-    supported = supported_algorithms(collective, num_gpus)
+    supported = supported_algorithms(collective, num_gpus, gpus_per_node)
     return {algorithm: build_schedule(collective, algorithm, num_gpus,
-                                      nbytes, chunk_size, root=root)
+                                      nbytes, chunk_size, root=root,
+                                      gpus_per_node=gpus_per_node)
             for algorithm in algorithms if algorithm in supported}

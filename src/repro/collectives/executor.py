@@ -88,9 +88,8 @@ class CollectiveExecutor:
     def __init__(self, system: "System",
                  access_size: Optional[int] = None) -> None:
         self.system = system
-        fmt = system.fabric.spec.fmt
         self.access_size = access_size if access_size is not None \
-            else fmt.max_payload
+            else system.fabric.collective_access_size
 
     def launch(self, schedule: CollectiveSchedule) -> Process:
         """Start a schedule; the returned process yields the result."""
@@ -146,8 +145,7 @@ class CollectiveExecutor:
             start_time=start,
             end_time=engine.now,
             op_count=len(schedule.ops),
-            sent_bytes=tuple(schedule.sent_bytes(gpu)
-                             for gpu in range(schedule.num_gpus)))
+            sent_bytes=schedule.per_gpu_sent_bytes())
         tracer = engine.tracer
         if tracer.enabled:
             tracer.span(start, engine.now, "collective",
@@ -173,12 +171,16 @@ def run_collective(platform: "PlatformSpec", collective: str, algorithm: str,
     """Build a system, run one collective to completion, return timing.
 
     A module-level pure function of picklable arguments, so tuner
-    backends can ship it to worker processes.
+    backends can ship it to worker processes.  Cluster platforms carry
+    their node geometry along, which is what admits the hierarchical
+    algorithm.
     """
     from repro.runtime.system import System
     system = System(platform, num_gpus=num_gpus)
     schedule = build_schedule(collective, algorithm, system.num_gpus,
-                              nbytes, chunk_size, root=root)
+                              nbytes, chunk_size, root=root,
+                              gpus_per_node=getattr(platform,
+                                                    "gpus_per_node", None))
     proc = CollectiveExecutor(system).launch(schedule)
     system.run(until=proc)
     system._finish_observation()

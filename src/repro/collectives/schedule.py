@@ -24,7 +24,7 @@ from every GPU — which is what the property tests lean on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import CollectiveError
 from repro.workloads.base import partition_range
@@ -90,6 +90,18 @@ class CollectiveSchedule:
         """Total payload bytes this GPU sources."""
         return sum(op.nbytes for op in self.ops if op.src == gpu)
 
+    def per_gpu_sent_bytes(self) -> Tuple[int, ...]:
+        """Payload bytes sourced by every GPU, in one pass over the ops.
+
+        Equivalent to ``sent_bytes(g) for g in range(num_gpus)`` but
+        O(ops) instead of O(gpus * ops) — the difference between
+        milliseconds and minutes on a 1024-GPU, two-million-op schedule.
+        """
+        totals = [0] * self.num_gpus
+        for op in self.ops:
+            totals[op.src] += op.nbytes
+        return tuple(totals)
+
     def total_bytes(self) -> int:
         """Total payload bytes moved by the whole schedule."""
         return sum(op.nbytes for op in self.ops)
@@ -113,7 +125,8 @@ class ScheduleBuilder:
     """
 
     def __init__(self, collective: str, algorithm: str, num_gpus: int,
-                 nbytes: int, chunk_size: int, root: int = 0) -> None:
+                 nbytes: int, chunk_size: int, root: int = 0,
+                 gpus_per_node: Optional[int] = None) -> None:
         if num_gpus < 1:
             raise CollectiveError(f"need >= 1 GPU: {num_gpus}")
         if nbytes < 0:
@@ -123,6 +136,13 @@ class ScheduleBuilder:
         if not 0 <= root < num_gpus:
             raise CollectiveError(
                 f"root {root} out of range 0..{num_gpus - 1}")
+        if gpus_per_node is not None and (
+                gpus_per_node < 1 or num_gpus % gpus_per_node != 0):
+            raise CollectiveError(
+                f"gpus_per_node {gpus_per_node} must divide "
+                f"num_gpus {num_gpus}")
+        #: Node geometry for hierarchical builders; ``None`` = one box.
+        self.gpus_per_node = gpus_per_node
         self.collective = collective
         self.algorithm = algorithm
         self.num_gpus = num_gpus

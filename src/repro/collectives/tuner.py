@@ -145,7 +145,9 @@ class CollectiveTuner:
             raise CollectiveError(
                 f"unknown collective {collective!r}; "
                 f"expected {ALL_COLLECTIVES}")
-        supported = supported_algorithms(collective, platform.num_gpus)
+        supported = supported_algorithms(
+            collective, platform.num_gpus,
+            getattr(platform, "gpus_per_node", None))
         if algorithms is None:
             algorithms = supported
         else:
@@ -172,8 +174,14 @@ class CollectiveTuner:
         """
         algorithms = ",".join(self.algorithms)
         chunks = ",".join(str(size) for size in self.chunk_sizes)
-        return (f"collective={self.collective}|algos={algorithms}"
-                f"|chunks={chunks}")
+        signature = (f"collective={self.collective}|algos={algorithms}"
+                     f"|chunks={chunks}")
+        if self.platform.is_cluster:
+            # Cluster sweeps fold the node geometry in: the same grid on
+            # a different node count / NIC / inter-node topology is a
+            # different search space and must not share plan entries.
+            signature += f"|cluster={self.platform.topology_signature()}"
+        return signature
 
     def tune(self, nbytes: int) -> CollectiveTuneResult:
         """Sweep the grid for one payload size."""

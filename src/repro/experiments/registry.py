@@ -185,6 +185,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
                    "repro.experiments.sensitivity"),
     ExperimentSpec("collectives", "Collectives",
                    "repro.experiments.collectives"),
+    ExperimentSpec("cluster", "Cluster",
+                   "repro.experiments.cluster"),
     ExperimentSpec("autotune", "Search autotuner",
                    "repro.experiments.autotune"),
 )

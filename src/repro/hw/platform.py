@@ -33,6 +33,11 @@ class PlatformSpec:
     interconnect: InterconnectSpec
     num_gpus: int
 
+    #: Overridden by :class:`repro.cluster.ClusterPlatformSpec`; lets
+    #: platform consumers branch to the cluster fabric without importing
+    #: the cluster package.
+    is_cluster = False
+
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise ConfigurationError(f"need >= 1 GPU: {self.num_gpus}")
@@ -84,10 +89,21 @@ FOUR_GPU_PLATFORMS: Tuple[PlatformSpec, ...] = (
 
 
 def platform_by_name(name: str) -> PlatformSpec:
-    """Look up a platform spec, with a helpful error message."""
+    """Look up a platform spec, with a helpful error message.
+
+    Canonical cluster platforms (:mod:`repro.cluster`) resolve here too,
+    so ``Session(platform="64x_volta_fat_tree")`` just works.
+    """
     try:
         return PLATFORMS[name]
     except KeyError:
+        pass
+    # Imported lazily: hw.platform is a leaf module the cluster package
+    # itself builds on.
+    from repro.cluster.specs import CLUSTER_PLATFORMS
+    try:
+        return CLUSTER_PLATFORMS[name]
+    except KeyError:
         raise ConfigurationError(
-            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
-        ) from None
+            f"unknown platform {name!r}; available: "
+            f"{sorted(PLATFORMS) + sorted(CLUSTER_PLATFORMS)}") from None

@@ -41,15 +41,28 @@ class Fabric:
     """All interconnect links and routes of one system."""
 
     def __init__(self, engine: "Engine", spec: InterconnectSpec, num_gpus: int,
-                 infinite: bool = False, quantum: int = DEFAULT_QUANTUM) -> None:
+                 infinite: bool = False, quantum: int = DEFAULT_QUANTUM,
+                 gpu_base: int = 0) -> None:
         if num_gpus < 1:
             raise ConfigurationError(f"need at least 1 GPU: {num_gpus}")
+        if gpu_base < 0:
+            raise ConfigurationError(f"negative GPU base: {gpu_base}")
         self.engine = engine
         self.spec = spec
         self.num_gpus = num_gpus
+        #: First global GPU id in this fabric.  A standalone system keeps
+        #: the default 0; a cluster node fabric is offset so its link
+        #: names and route keys speak global GPU ids directly.
+        self.gpu_base = gpu_base
         self.infinite = infinite
         self.quantum = quantum
         self.links: List[Link] = []
+        #: GPU-side links into/out of the shared switch, by local index —
+        #: populated by the switch-routed topologies (pcie_tree, switch)
+        #: and used by the cluster fabric to splice NIC routes onto the
+        #: intra-node switch.  Empty for point-to-point topologies.
+        self.uplinks: List[Link] = []
+        self.downlinks: List[Link] = []
         self._routes: Dict[Tuple[int, int], Route] = {}
         if num_gpus > 1:
             self._build()
@@ -72,20 +85,10 @@ class Fabric:
         builders[self.spec.topology]()
 
     def _build_pcie_tree(self) -> None:
-        per_direction = self.spec.unidir_bw_per_gpu
-        up = [self._new_link(f"pcie:gpu{i}->sw", per_direction)
-              for i in range(self.num_gpus)]
-        down = [self._new_link(f"pcie:sw->gpu{i}", per_direction)
-                for i in range(self.num_gpus)]
-        for src in range(self.num_gpus):
-            for dst in range(self.num_gpus):
-                if src == dst:
-                    continue
-                self._routes[(src, dst)] = route_between(
-                    self.engine, src, dst, [up[src], down[dst]],
-                    self.spec.latency, infinite=self.infinite)
+        self._build_star("pcie")
 
     def _build_all_to_all(self) -> None:
+        base = self.gpu_base
         peers = self.num_gpus - 1
         per_peer_direction = self.spec.unidir_bw_per_gpu / peers
         for src in range(self.num_gpus):
@@ -93,23 +96,32 @@ class Fabric:
                 if src == dst:
                     continue
                 link = self._new_link(
-                    f"nvlink:gpu{src}->gpu{dst}", per_peer_direction)
-                self._routes[(src, dst)] = route_between(
-                    self.engine, src, dst, [link],
+                    f"nvlink:gpu{base + src}->gpu{base + dst}",
+                    per_peer_direction)
+                self._routes[(base + src, base + dst)] = route_between(
+                    self.engine, base + src, base + dst, [link],
                     self.spec.latency, infinite=self.infinite)
 
     def _build_switch(self) -> None:
+        self._build_star("nvsw")
+
+    def _build_star(self, prefix: str) -> None:
+        """Shared-switch star: one up/down link pair per GPU."""
+        base = self.gpu_base
         per_direction = self.spec.unidir_bw_per_gpu
-        up = [self._new_link(f"nvsw:gpu{i}->sw", per_direction)
-              for i in range(self.num_gpus)]
-        down = [self._new_link(f"nvsw:sw->gpu{i}", per_direction)
-                for i in range(self.num_gpus)]
+        self.uplinks = [
+            self._new_link(f"{prefix}:gpu{base + i}->sw", per_direction)
+            for i in range(self.num_gpus)]
+        self.downlinks = [
+            self._new_link(f"{prefix}:sw->gpu{base + i}", per_direction)
+            for i in range(self.num_gpus)]
         for src in range(self.num_gpus):
             for dst in range(self.num_gpus):
                 if src == dst:
                     continue
-                self._routes[(src, dst)] = route_between(
-                    self.engine, src, dst, [up[src], down[dst]],
+                self._routes[(base + src, base + dst)] = route_between(
+                    self.engine, base + src, base + dst,
+                    [self.uplinks[src], self.downlinks[dst]],
                     self.spec.latency, infinite=self.infinite)
 
     def _build_cube_mesh(self) -> None:
@@ -128,14 +140,15 @@ class Fabric:
             # A half cube degenerates to a fully-connected quad.
             self._build_all_to_all()
             return
+        base = self.gpu_base
         per_link = self.spec.unidir_bw_per_gpu / 4  # 3 quad + 1 cross
         links: Dict[Tuple[int, int], Link] = {}
 
         def connect(a: int, b: int) -> None:
-            links[(a, b)] = self._new_link(f"nvlink:gpu{a}->gpu{b}",
-                                           per_link)
-            links[(b, a)] = self._new_link(f"nvlink:gpu{b}->gpu{a}",
-                                           per_link)
+            links[(a, b)] = self._new_link(
+                f"nvlink:gpu{base + a}->gpu{base + b}", per_link)
+            links[(b, a)] = self._new_link(
+                f"nvlink:gpu{base + b}->gpu{base + a}", per_link)
 
         for half in (0, 4):
             for i in range(half, half + 4):
@@ -156,8 +169,8 @@ class Fabric:
                     intermediate = (dst % 4) + (src // 4) * 4
                     hops = [links[(src, intermediate)],
                             links[(intermediate, dst)]]
-                self._routes[(src, dst)] = route_between(
-                    self.engine, src, dst, hops,
+                self._routes[(base + src, base + dst)] = route_between(
+                    self.engine, base + src, base + dst, hops,
                     self.spec.latency * len(hops),
                     infinite=self.infinite)
 
@@ -189,9 +202,9 @@ class Fabric:
 
     def _local_copy(self, gpu: int, nbytes: int, access_size: int) -> Event:
         """An immediately-complete self-transfer with full validation."""
-        if not 0 <= gpu < self.num_gpus:
-            raise ConfigurationError(
-                f"GPU {gpu} out of range 0..{self.num_gpus - 1}")
+        lo, hi = self.gpu_base, self.gpu_base + self.num_gpus - 1
+        if not lo <= gpu <= hi:
+            raise ConfigurationError(f"GPU {gpu} out of range {lo}..{hi}")
         if nbytes < 0:
             raise ConfigurationError(f"negative payload: {nbytes}")
         if access_size < 1:
@@ -203,6 +216,16 @@ class Fabric:
             access_size=access_size, start_time=self.engine.now,
             end_time=self.engine.now))
         return event
+
+    @property
+    def collective_access_size(self) -> int:
+        """Bulk access size collective transfers are issued at.
+
+        The flat fabric uses its protocol's max payload; the cluster
+        fabric widens this to the NIC MTU so RDMA framing stays
+        efficient (see :class:`repro.cluster.ClusterFabric`).
+        """
+        return self.spec.fmt.max_payload
 
     def peak_p2p_bandwidth(self, src: int, dst: int) -> float:
         """Raw wire bandwidth of the bottleneck link between two GPUs."""

@@ -25,6 +25,17 @@ TOPOLOGY_CUBE_MESH = "cube_mesh"
 _VALID_TOPOLOGIES = (TOPOLOGY_PCIE_TREE, TOPOLOGY_ALL_TO_ALL,
                      TOPOLOGY_SWITCH, TOPOLOGY_CUBE_MESH)
 
+#: Inter-node topology kinds understood by the cluster fabric builder
+#: (:mod:`repro.cluster`).  Same registry pattern as the intra-node
+#: topologies above: a module-level constant per kind plus one validated
+#: tuple, so spec errors can enumerate the legal names.
+TOPOLOGY_FAT_TREE = "fat_tree"
+TOPOLOGY_TORUS_2D = "torus_2d"
+TOPOLOGY_TORUS_3D = "torus_3d"
+
+INTER_NODE_TOPOLOGIES = (TOPOLOGY_FAT_TREE, TOPOLOGY_TORUS_2D,
+                         TOPOLOGY_TORUS_3D)
+
 
 @dataclass(frozen=True)
 class InterconnectSpec:
@@ -45,7 +56,7 @@ class InterconnectSpec:
         if self.topology not in _VALID_TOPOLOGIES:
             raise ConfigurationError(
                 f"unknown topology {self.topology!r}; "
-                f"expected one of {_VALID_TOPOLOGIES}")
+                f"expected one of {sorted(_VALID_TOPOLOGIES)}")
 
     @property
     def unidir_bw_per_gpu(self) -> float:

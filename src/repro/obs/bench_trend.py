@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence
 HEADLINE_KEYS = (
     "speedup", "total_speedup", "engine_speedup", "events_per_sec",
     "serial_s", "parallel_s", "sweep_s", "search_s", "sweep_configs",
-    "gate_enforced",
+    "gate_enforced", "hier_vs_ring_1024gpu", "hier_busbw_1024gpu_gbs",
 )
 
 

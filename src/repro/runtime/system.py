@@ -74,8 +74,16 @@ class System:
                              sanitizer=sanitizer)
         self.gpus: List[Gpu] = [
             Gpu(self.engine, i, spec.gpu) for i in range(spec.num_gpus)]
-        self.fabric = Fabric(self.engine, spec.interconnect, spec.num_gpus,
-                             infinite=infinite_bw, quantum=quantum)
+        if spec.is_cluster:
+            # Imported lazily: the cluster package builds on this module's
+            # dependencies (fabric, platform specs).
+            from repro.cluster.fabric import ClusterFabric
+            self.fabric: Fabric = ClusterFabric(
+                self.engine, spec, infinite=infinite_bw, quantum=quantum)
+        else:
+            self.fabric = Fabric(self.engine, spec.interconnect,
+                                 spec.num_gpus, infinite=infinite_bw,
+                                 quantum=quantum)
         self.devices: List[Device] = [
             Device(self, gpu, dma_engines=dma_engines) for gpu in self.gpus]
         self.checker = None
@@ -198,8 +206,10 @@ class System:
         if chunk_size is None:
             from repro.core.config import DEFAULT_CONFIG
             chunk_size = DEFAULT_CONFIG.chunk_size
-        schedule = build_schedule(collective, algorithm, self.num_gpus,
-                                  nbytes, chunk_size, root=root)
+        schedule = build_schedule(
+            collective, algorithm, self.num_gpus, nbytes, chunk_size,
+            root=root,
+            gpus_per_node=getattr(self.spec, "gpus_per_node", None))
         executor = CollectiveExecutor(self, access_size=access_size)
         return executor.launch(schedule)
 

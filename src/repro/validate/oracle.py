@@ -216,7 +216,9 @@ class DifferentialOracle:
             system = System(platform, num_gpus=num_gpus)
             schedule = build_schedule(collective, algorithm,
                                       system.num_gpus, nbytes, chunk_size,
-                                      root=root)
+                                      root=root,
+                                      gpus_per_node=getattr(
+                                          system.spec, "gpus_per_node", None))
             try:
                 verify_schedule(schedule)
             except CollectiveError as exc:
@@ -238,7 +240,14 @@ class DifferentialOracle:
                     f"schedule says {schedule.sent_bytes(gpu)}",
                     invariant="collective-bytes-mismatch", gpu=gpu,
                     time=result.end_time)
-        hops = self._hop_counts(system)
+        # Hop counts only for the pairs the schedule actually uses: an
+        # all-pairs walk is quadratic in GPUs and would dominate the
+        # check at cluster scale (1024 GPUs -> ~1M lazy cross-node
+        # routes for a schedule that touches a few thousand pairs).
+        pairs = {(op.src, op.dst) for op in schedule.ops
+                 if op.src != op.dst}
+        hops = {pair: len(system.fabric.route(*pair).links)
+                for pair in pairs}
         expected_goodput = sum(op.nbytes * hops[(op.src, op.dst)]
                                for op in schedule.ops if op.src != op.dst)
         got_goodput = system.fabric.total_goodput_bytes()
@@ -259,6 +268,18 @@ class DifferentialOracle:
                     f"payload = {optimal} bytes per GPU; got "
                     f"{result.sent_bytes}",
                     invariant="ring-not-bandwidth-optimal",
+                    time=result.end_time)
+        if (collective == COLL_ALL_REDUCE and algorithm == "hierarchical"
+                and nbytes % n == 0):
+            from repro.cluster.hierarchical import hierarchical_sent_bytes
+            want = hierarchical_sent_bytes(
+                nbytes, n, system.spec.gpus_per_node)
+            if any(sent != want for sent in result.sent_bytes):
+                raise ValidationError(
+                    f"hierarchical all-reduce must source exactly "
+                    f"2(L-1)M + 2(M-1) shards = {want} bytes per GPU; "
+                    f"got {sorted(set(result.sent_bytes))}",
+                    invariant="hierarchical-bytes-off-closed-form",
                     time=result.end_time)
         return result
 

@@ -1,0 +1,166 @@
+"""Cluster routing invariants: symmetry, NIC traversal, disjointness.
+
+The hierarchical collective leans on the same structural properties the
+flat topologies pin down in ``test_fabric_topology_routing.py``, plus
+the node-boundary contract: every cross-node route crosses exactly one
+source NIC and one destination NIC, intra-node routes never touch a
+NIC, and the fat-tree's dedicated per-node core links keep node-disjoint
+routes link-disjoint.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cluster import (
+    HDR200_NIC,
+    NodeSpec,
+    TORUS_2D,
+    TORUS_3D,
+    cluster_platform,
+    torus_dims,
+)
+from repro.hw.specs import VOLTA_V100
+from repro.interconnect.specs import NVSWITCH
+from repro.runtime.system import System
+
+#: A small node keeps exhaustive pair walks cheap (4 GPUs vs. DGX-2's 16).
+QUAD_NODE = NodeSpec(name="quad", gpu=VOLTA_V100, interconnect=NVSWITCH,
+                     gpus_per_node=4, nic=HDR200_NIC)
+
+#: (num_nodes, inter-node spec) for the parametrized invariants.
+CLUSTERS = (
+    (2, None),          # minimal fat tree: one pod, no core layer
+    (9, None),          # 3 pods of 3: the full edge/core fat tree
+    (8, TORUS_2D),      # 2x4 torus
+    (8, TORUS_3D),      # 2x2x2 torus
+)
+
+
+def _system(num_nodes, inter):
+    if inter is None:
+        return System(cluster_platform(num_nodes, node=QUAD_NODE))
+    return System(cluster_platform(num_nodes, node=QUAD_NODE, inter=inter))
+
+
+def _endpoints(name):
+    """The (tail, head) of a directed link, from its name."""
+    _, _, path = name.partition(":")
+    a, _, b = path.partition("->")
+    return a, b.partition("[")[0]
+
+
+@pytest.mark.parametrize("num_nodes,inter", CLUSTERS)
+def test_routes_exist_between_every_distinct_pair(num_nodes, inter):
+    system = _system(num_nodes, inter)
+    for src, dst in itertools.permutations(range(system.num_gpus), 2):
+        route = system.fabric.route(src, dst)
+        assert route.src == src and route.dst == dst
+        assert route.bottleneck_bandwidth > 0
+        # Memoized: the lazy cross-node builder runs once per pair.
+        assert system.fabric.route(src, dst) is route
+
+
+@pytest.mark.parametrize("num_nodes,inter", CLUSTERS)
+def test_route_symmetry_is_the_endpoint_reversed_image(num_nodes, inter):
+    # The reverse route must walk the same nodes backwards, crossing the
+    # opposite-direction link at every hop — full-duplex pairs, so a
+    # ring's forward hops never contend with the reverse direction.
+    system = _system(num_nodes, inter)
+    for src, dst in itertools.combinations(range(system.num_gpus), 2):
+        forward = [_endpoints(link.name)
+                   for link in system.fabric.route(src, dst).links]
+        reverse = [_endpoints(link.name)
+                   for link in system.fabric.route(dst, src).links]
+        assert reverse == [(b, a) for (a, b) in reversed(forward)]
+        # Directions are distinct physical links.
+        fwd_names = {link.name
+                     for link in system.fabric.route(src, dst).links}
+        rev_names = {link.name
+                     for link in system.fabric.route(dst, src).links}
+        assert not fwd_names & rev_names
+
+
+@pytest.mark.parametrize("num_nodes,inter", CLUSTERS)
+def test_node_boundary_nic_traversal_counts(num_nodes, inter):
+    # Exactly one source-NIC injection and one destination-NIC delivery
+    # per cross-node route; intra-node routes never touch a NIC.
+    system = _system(num_nodes, inter)
+    fabric = system.fabric
+    per_node = QUAD_NODE.gpus_per_node
+    for src, dst in itertools.permutations(range(system.num_gpus), 2):
+        nic_links = [link.name for link in fabric.route(src, dst).links
+                     if link.name.startswith("nic:")]
+        if src // per_node == dst // per_node:
+            assert nic_links == []
+        else:
+            assert nic_links == [f"nic:n{src // per_node}->net",
+                                 f"nic:net->n{dst // per_node}"]
+
+
+@pytest.mark.parametrize("num_nodes,inter", CLUSTERS)
+def test_intra_node_routes_stay_on_the_node_switch(num_nodes, inter):
+    system = _system(num_nodes, inter)
+    per_node = QUAD_NODE.gpus_per_node
+    for src, dst in itertools.permutations(range(per_node), 2):
+        names = [link.name for link in system.fabric.route(src, dst).links]
+        assert names == [f"nvsw:gpu{src}->sw", f"nvsw:sw->gpu{dst}"]
+
+
+def test_fat_tree_node_disjoint_routes_are_link_disjoint():
+    # Per-node NICs and dedicated core up/down links: two routes whose
+    # endpoint nodes are disjoint share no links, same-pod or cross-pod.
+    system = _system(9, None)
+    fabric = system.fabric
+    per_node = QUAD_NODE.gpus_per_node
+    gpus = [node * per_node for node in range(9)]  # one GPU per node
+    pairs = list(itertools.permutations(gpus, 2))
+    for (a, b), (c, d) in itertools.combinations(pairs, 2):
+        if {a // per_node, b // per_node} & {c // per_node, d // per_node}:
+            continue
+        links_ab = {id(link) for link in fabric.route(a, b).links}
+        links_cd = {id(link) for link in fabric.route(c, d).links}
+        assert not links_ab & links_cd, (a, b, c, d)
+
+
+def test_fat_tree_same_pod_skips_the_core():
+    system = _system(9, None)
+    inter = system.fabric.inter
+    assert inter.pod_size == 3 and inter.num_pods == 3
+    links, hops = inter.path(0, 2)       # same pod: meet at the edge
+    assert links == [] and hops == 1
+    links, hops = inter.path(0, 5)       # cross pod: edge-core-edge
+    assert hops == 3
+    assert [link.name for link in links] == \
+        ["ft:pod0.n0->core", "ft:core->pod1.n5"]
+
+
+@pytest.mark.parametrize("inter", (TORUS_2D, TORUS_3D))
+def test_torus_paths_are_dimension_ordered_shortest(inter):
+    system = _system(8, inter)
+    topo = system.fabric.inter
+    for src, dst in itertools.permutations(range(8), 2):
+        links, hops = topo.path(src, dst)
+        assert len(links) == hops
+        want = sum(min(delta, size - delta) for size, delta in
+                   ((size, (d - s) % size) for size, s, d in
+                    zip(topo.dims, topo.coords(src), topo.coords(dst))))
+        assert hops == want, (src, dst)
+
+
+def test_torus_dims_factorizations():
+    assert torus_dims(64, 3) == (4, 4, 4)
+    assert torus_dims(64, 2) == (8, 8)
+    assert torus_dims(8, 3) == (2, 2, 2)
+    assert torus_dims(6, 3) == (1, 2, 3)
+
+
+@pytest.mark.parametrize("num_nodes,inter", CLUSTERS)
+def test_cluster_widens_the_collective_access_size(num_nodes, inter):
+    # Collective bulk transfers are issued at the NIC MTU so RDMA
+    # framing stays efficient; NVLink framing is unchanged because the
+    # MTU is a whole multiple of the NVLink max payload.
+    system = _system(num_nodes, inter)
+    nic_mtu = HDR200_NIC.fmt.max_payload
+    assert system.fabric.collective_access_size == nic_mtu
+    assert nic_mtu % system.spec.interconnect.fmt.max_payload == 0
