@@ -1,0 +1,137 @@
+"""Benchmark: the tuning service under concurrent zipfian load.
+
+Measures what the service layer is *for*: a signature-keyed cache in
+front of sweep-priced tuning.  A zipfian mix (the head signatures
+dominate, a long tail trickles in) is replayed from concurrent client
+threads against 1/2/4-shard services, recording throughput and the
+per-tier latency split in ``benchmarks/results/BENCH_service.json``.
+
+Two gates ride on the numbers, both enforced in-test:
+
+* ``hit_speedup``: answering from the store must be >= 100x faster
+  (p50) than the sweep that seeded it — the whole point of fronting
+  the profiler with a cache.  Misses here are real ~50ms sweeps (a
+  24-config exhaustive grid on the test-sized PageRank/Jacobi), so the
+  ratio is measured against honest work, not a stub.
+* coalescing: N identical concurrent queries must run exactly one
+  sweep (``coalesce_sweeps == 1``), and a full zipfian replay may
+  never sweep more than its distinct-signature count.
+"""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service import (
+    CollectiveQuery,
+    ProfileQuery,
+    QueryMix,
+    ThreadedTuningService,
+)
+from repro.units import KiB, MiB
+from repro.workloads import JacobiWorkload, PageRankWorkload
+
+#: 6 chunk sizes x 2 thread counts x 2 mechanisms = 24 configs — sized
+#: so one miss costs tens of milliseconds (an honest sweep, cheap CI).
+SWEEP_CHUNKS = (16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 1 * MiB,
+                4 * MiB)
+SWEEP_THREADS = (1024, 4096)
+SWEEP_MECHANISMS = ("polling", "cdp")
+
+SHARD_COUNTS = (1, 2, 4)
+QUERIES = 150
+CLIENT_THREADS = 8
+COALESCE_FANIN = 16
+REQUIRED_HIT_SPEEDUP = 100.0
+
+
+def _universe():
+    pagerank = PageRankWorkload(num_vertices=2_000_000,
+                                num_edges=60_000_000, iterations=2)
+    jacobi = JacobiWorkload(num_unknowns=2_000_000, bandwidth=20,
+                            iterations=2)
+    queries = []
+    for workload in (pagerank, jacobi):
+        for threads in ((1024,), (4096,), SWEEP_THREADS):
+            queries.append(ProfileQuery(
+                "4x_volta", workload, strategy="exhaustive",
+                chunk_sizes=SWEEP_CHUNKS, thread_counts=threads,
+                mechanisms=SWEEP_MECHANISMS))
+    for nbytes in (1 * MiB, 64 * MiB):
+        queries.append(CollectiveQuery(
+            "4x_volta", "all_reduce", nbytes,
+            chunk_sizes=(128 * KiB, 1 * MiB, 4 * MiB)))
+    return queries
+
+
+def _replay(service, mix):
+    queries = list(mix)
+    started = time.perf_counter()
+    with ThreadPoolExecutor(CLIENT_THREADS) as pool:
+        for result in pool.map(service.query, queries):
+            assert result.plan is not None
+    return time.perf_counter() - started
+
+
+def test_service_load_latency_and_coalescing(results_dir):
+    universe = _universe()
+    datapoint = {
+        "benchmark": "service",
+        "universe": len(universe),
+        "queries": QUERIES,
+        "client_threads": CLIENT_THREADS,
+        "miss_sweep_configs": len(SWEEP_CHUNKS) * len(SWEEP_THREADS)
+        * len(SWEEP_MECHANISMS),
+        "required_hit_speedup": REQUIRED_HIT_SPEEDUP,
+    }
+
+    best_qps = 0.0
+    hit_speedup = None
+    for shards in SHARD_COUNTS:
+        mix = QueryMix.zipfian(universe, QUERIES, seed=20 + shards)
+        with ThreadedTuningService(shards=shards) as service:
+            elapsed = _replay(service, mix)
+            stats = service.stats()
+        sweeps = int(stats["sweeps"])
+        # Coalescing gate: never more sweeps than distinct signatures.
+        assert sweeps <= mix.unique_queries, (
+            f"{sweeps} sweeps for {mix.unique_queries} distinct "
+            f"signatures at {shards} shard(s)")
+        qps = len(mix) / elapsed
+        best_qps = max(best_qps, qps)
+        hit = stats["latency_s"]["hit"]
+        miss = stats["latency_s"]["miss"]
+        datapoint[f"qps_{shards}shard"] = round(qps, 1)
+        datapoint[f"hit_rate_{shards}shard"] = round(stats["hit_rate"], 3)
+        datapoint[f"sweeps_{shards}shard"] = sweeps
+        datapoint[f"hit_p50_us_{shards}shard"] = round(hit["p50"] * 1e6, 1)
+        datapoint[f"hit_p99_us_{shards}shard"] = round(hit["p99"] * 1e6, 1)
+        datapoint[f"miss_p50_ms_{shards}shard"] = round(miss["p50"] * 1e3, 2)
+        if shards == 1:
+            hit_speedup = miss["p50"] / hit["p50"]
+            datapoint["hit_rate"] = round(stats["hit_rate"], 3)
+
+    # Coalescing fan-in on a cold service: N identical concurrent
+    # queries, exactly one sweep.
+    probe = universe[0]
+    with ThreadedTuningService(shards=2) as service:
+        with ThreadPoolExecutor(COALESCE_FANIN) as pool:
+            for result in pool.map(service.query,
+                                   [probe] * COALESCE_FANIN):
+                assert result.plan is not None
+        coalesce_sweeps = int(service.stats()["sweeps"])
+
+    datapoint["service_qps"] = round(best_qps, 1)
+    datapoint["hit_speedup"] = round(hit_speedup, 1)
+    datapoint["coalesce_requests"] = COALESCE_FANIN
+    datapoint["coalesce_sweeps"] = coalesce_sweeps
+
+    path = results_dir / "BENCH_service.json"
+    path.write_text(json.dumps(datapoint, indent=2, sort_keys=True) + "\n")
+
+    assert coalesce_sweeps == 1, (
+        f"{COALESCE_FANIN} identical concurrent queries ran "
+        f"{coalesce_sweeps} sweeps")
+    assert hit_speedup >= REQUIRED_HIT_SPEEDUP, (
+        f"store hit only {hit_speedup:.0f}x faster than a sweep "
+        f"(needed {REQUIRED_HIT_SPEEDUP:.0f}x)")

@@ -18,16 +18,15 @@ grid over worker processes yet returns byte-identical measurements.
 
 from __future__ import annotations
 
-import json
-import pathlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collectives.algorithms import supported_algorithms
 from repro.collectives.executor import run_collective
 from repro.collectives.schedule import ALL_COLLECTIVES, COLL_ALL_REDUCE
 from repro.core.config import PROFILE_CHUNK_SIZES
 from repro.core.profiler import ExecutorBackend, SerialBackend
+from repro.core.store import SignatureKeyedStore, match_key
 from repro.errors import CollectiveError
 from repro.hw.platform import PlatformSpec
 from repro.obs.capture import active as active_observation
@@ -232,8 +231,6 @@ class CollectiveTuner:
 #: ``(platform, collective, bucket, sweep signature)``.
 _PlanKey = Tuple[str, str, str, str]
 
-_KEY_SEPARATOR = "::"
-
 
 def _choice_to_dict(choice: CollectiveChoice) -> Dict:
     return {"algorithm": choice.algorithm, "chunk_size": choice.chunk_size}
@@ -247,35 +244,48 @@ def _choice_from_dict(data: Dict) -> CollectiveChoice:
         raise CollectiveError(f"corrupt plan entry: {data!r}") from exc
 
 
-class CollectivePlanStore:
-    """JSON-backed cache of tuned collective choices.
+class CollectivePlanStore(SignatureKeyedStore[CollectiveChoice]):
+    """JSON-backed, concurrency-safe cache of tuned collective choices.
 
     The compile-time analogue of :class:`~repro.core.cache.ProfileStore`
     with the same key scheme: entries are namespaced by the tuner's
     sweep signature so sweeps over different grids never collide, and a
-    parallel sweep shares hits with its serial twin.
+    parallel sweep shares hits with its serial twin.  Like the profile
+    store it rides :class:`~repro.core.store.SignatureKeyedStore`:
+    operations are thread-safe, :meth:`invalidate` version-fences
+    in-flight sweeps, and saves are atomic write-then-rename so a warm
+    worker sharing the store path never reads a torn document.
     """
 
-    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None,
-                 ) -> None:
-        self.path = pathlib.Path(path) if path is not None else None
-        self._entries: Dict[_PlanKey, CollectiveChoice] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
-
-    def __len__(self) -> int:
-        return len(self._entries)
+    KEY_PARTS = 4
+    MIN_KEY_PARTS = 3
+    ERROR = CollectiveError
+    KEY_LAYOUT = "platform::collective::bucket[::signature]"
+    KIND = "plan store"
 
     def get(self, platform_name: str, collective: str, bucket: str,
             signature: str = "") -> Optional[CollectiveChoice]:
-        return self._entries.get(
+        return self._get_entry(
             (platform_name, collective, bucket, signature))
 
     def put(self, platform_name: str, collective: str, bucket: str,
-            choice: CollectiveChoice, signature: str = "") -> None:
-        self._entries[(platform_name, collective, bucket, signature)] = choice
-        if self.path is not None:
-            self._save()
+            choice: CollectiveChoice, signature: str = "",
+            if_version: Optional[int] = None) -> bool:
+        """Store a choice; ``if_version`` fences against
+        :meth:`invalidate` exactly like
+        :meth:`repro.core.cache.ProfileStore.put`."""
+        return self._put_entry(
+            (platform_name, collective, bucket, signature), choice,
+            if_version=if_version)
+
+    def invalidate(self, platform_name: Optional[str] = None,
+                   collective: Optional[str] = None,
+                   bucket: Optional[str] = None,
+                   signature: Optional[str] = None) -> int:
+        """Drop matching entries (``None`` matches anything); bump
+        :attr:`version`.  Returns the number of entries removed."""
+        pattern = (platform_name, collective, bucket, signature)
+        return self._invalidate_where(lambda key: match_key(key, pattern))
 
     def get_or_tune(self, tuner: CollectiveTuner,
                     nbytes: int) -> CollectiveChoice:
@@ -286,39 +296,17 @@ class CollectivePlanStore:
                           signature)
         if cached is not None:
             return cached
+        version = self.version
         choice = tuner.tune(nbytes).best_choice
         self.put(tuner.platform.name, tuner.collective, bucket, choice,
-                 signature)
+                 signature, if_version=version)
         return choice
 
     # ------------------------------------------------------------------
-    # Persistence
+    # Persistence schema
     # ------------------------------------------------------------------
-    def _save(self) -> None:
-        assert self.path is not None
-        payload = {}
-        for key, choice in sorted(self._entries.items()):
-            payload[_KEY_SEPARATOR.join(part for part in key if part)] = \
-                _choice_to_dict(choice)
-        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    def _encode_value(self, value: CollectiveChoice) -> Dict:
+        return _choice_to_dict(value)
 
-    def _load(self) -> None:
-        assert self.path is not None
-        try:
-            payload = json.loads(self.path.read_text())
-        except json.JSONDecodeError as exc:
-            raise CollectiveError(
-                f"plan store {self.path} is not valid JSON") from exc
-        if not isinstance(payload, dict):
-            raise CollectiveError(
-                f"plan store {self.path} has an unexpected layout")
-        for key, data in payload.items():
-            parts = key.split(_KEY_SEPARATOR, 3)
-            if len(parts) < 3:
-                raise CollectiveError(
-                    f"plan store key {key!r} is not "
-                    "'platform::collective::bucket[::signature]'")
-            platform, collective, bucket = parts[0], parts[1], parts[2]
-            signature = parts[3] if len(parts) == 4 else ""
-            self._entries[(platform, collective, bucket, signature)] = \
-                _choice_from_dict(data)
+    def _decode_value(self, data: Dict) -> CollectiveChoice:
+        return _choice_from_dict(data)

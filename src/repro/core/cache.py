@@ -14,17 +14,25 @@ full search space — mechanisms, grids, and search mode — so sweeps over
 different grids never collide in the store, and every worker of a
 parallel sweep (or a parallel experiment runner) shares hits with its
 serial twin: the signature deliberately excludes the executor backend.
+
+Since the tuning service (:mod:`repro.service`) fronts this store with
+many concurrent queries, it rides
+:class:`~repro.core.store.SignatureKeyedStore`: every operation is
+thread-safe, :meth:`invalidate` bumps a monotonic :attr:`version` that
+fences out in-flight sweeps started before the invalidation
+(``put(..., if_version=...)``), and saves are atomic
+write-then-rename so a reader sharing the store path never sees a torn
+document.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
 import typing
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.config import ProactConfig
 from repro.core.profiler import Profiler
+from repro.core.store import SignatureKeyedStore, match_key
 from repro.errors import ProactError
 from repro.hw.platform import PlatformSpec
 
@@ -34,8 +42,6 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: ``(platform, workload, sweep signature)``; the empty signature is the
 #: legacy "whatever grid profiled this" namespace.
 _Key = Tuple[str, str, str]
-
-_KEY_SEPARATOR = "::"
 
 
 def _config_to_dict(config: ProactConfig) -> Dict:
@@ -59,21 +65,17 @@ def _config_from_dict(data: Dict) -> ProactConfig:
         raise ProactError(f"corrupt profile entry: {data!r}") from exc
 
 
-class ProfileStore:
-    """JSON-backed cache of profiled configurations."""
+class ProfileStore(SignatureKeyedStore[ProactConfig]):
+    """JSON-backed, concurrency-safe cache of profiled configurations."""
 
-    def __init__(self, path: Optional[Union[str, pathlib.Path]] = None,
-                 ) -> None:
-        self.path = pathlib.Path(path) if path is not None else None
-        self._entries: Dict[_Key, ProactConfig] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
-
-    def __len__(self) -> int:
-        return len(self._entries)
+    KEY_PARTS = 3
+    MIN_KEY_PARTS = 2
+    ERROR = ProactError
+    KEY_LAYOUT = "platform::workload[::signature]"
+    KIND = "profile store"
 
     def __contains__(self, key: Union[Tuple[str, str], _Key]) -> bool:
-        return self._normalize(key) in self._entries
+        return self._get_entry(self._normalize(key)) is not None
 
     @staticmethod
     def _normalize(key: Union[Tuple[str, str], _Key]) -> _Key:
@@ -84,14 +86,29 @@ class ProfileStore:
     def get(self, platform_name: str, workload_name: str,
             signature: str = "") -> Optional[ProactConfig]:
         """The stored configuration, or ``None`` if never profiled."""
-        return self._entries.get((platform_name, workload_name, signature))
+        return self._get_entry((platform_name, workload_name, signature))
 
     def put(self, platform_name: str, workload_name: str,
-            config: ProactConfig, signature: str = "") -> None:
-        """Store (and persist, when backed by a file) a configuration."""
-        self._entries[(platform_name, workload_name, signature)] = config
-        if self.path is not None:
-            self._save()
+            config: ProactConfig, signature: str = "",
+            if_version: Optional[int] = None) -> bool:
+        """Store (and persist, when backed by a file) a configuration.
+
+        ``if_version`` fences the put against :meth:`invalidate`: pass
+        the :attr:`version` observed before the sweep started and the
+        put is refused (returning ``False``) when an invalidation
+        happened in between, so stale plans never re-enter the cache.
+        """
+        return self._put_entry((platform_name, workload_name, signature),
+                               config, if_version=if_version)
+
+    def invalidate(self, platform_name: Optional[str] = None,
+                   workload_name: Optional[str] = None,
+                   signature: Optional[str] = None) -> int:
+        """Drop matching entries (``None`` matches anything); bump
+        :attr:`version` so in-flight fenced puts are refused.  Returns
+        the number of entries removed."""
+        pattern = (platform_name, workload_name, signature)
+        return self._invalidate_where(lambda key: match_key(key, pattern))
 
     def get_or_profile(self, platform: PlatformSpec, workload: "Workload",
                        profiler: Optional[Profiler] = None) -> ProactConfig:
@@ -106,42 +123,18 @@ class ProfileStore:
         cached = self.get(platform.name, workload.name, signature)
         if cached is not None:
             return cached
+        version = self.version
         profile = active_profiler.profile(workload.phase_builder())
         config = profile.best_config
-        self.put(platform.name, workload.name, config, signature)
+        self.put(platform.name, workload.name, config, signature,
+                 if_version=version)
         return config
 
     # ------------------------------------------------------------------
-    # Persistence
+    # Persistence schema
     # ------------------------------------------------------------------
-    def _save(self) -> None:
-        assert self.path is not None
-        payload = {}
-        for (platform, workload, signature), config in sorted(
-                self._entries.items()):
-            parts = [platform, workload]
-            if signature:
-                parts.append(signature)
-            payload[_KEY_SEPARATOR.join(parts)] = _config_to_dict(config)
-        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    def _encode_value(self, value: ProactConfig) -> Dict:
+        return _config_to_dict(value)
 
-    def _load(self) -> None:
-        assert self.path is not None
-        try:
-            payload = json.loads(self.path.read_text())
-        except json.JSONDecodeError as exc:
-            raise ProactError(
-                f"profile store {self.path} is not valid JSON") from exc
-        if not isinstance(payload, dict):
-            raise ProactError(
-                f"profile store {self.path} has an unexpected layout")
-        for key, data in payload.items():
-            parts = key.split(_KEY_SEPARATOR, 2)
-            if len(parts) < 2:
-                raise ProactError(
-                    f"profile store key {key!r} is not "
-                    "'platform::workload[::signature]'")
-            platform, workload = parts[0], parts[1]
-            signature = parts[2] if len(parts) == 3 else ""
-            self._entries[(platform, workload, signature)] = (
-                _config_from_dict(data))
+    def _decode_value(self, data: Dict) -> ProactConfig:
+        return _config_from_dict(data)

@@ -56,6 +56,7 @@ from repro.obs.metrics import (
     Histogram,
     HistogramSummary,
     MetricsRegistry,
+    ThreadSafeMetricsRegistry,
     series_name,
 )
 from repro.obs.report import (
@@ -71,6 +72,7 @@ __all__ = [
     "capture",
     "suppress",
     "MetricsRegistry",
+    "ThreadSafeMetricsRegistry",
     "Histogram",
     "HistogramSummary",
     "NULL_METRICS",

@@ -1,0 +1,56 @@
+"""Tuning-as-a-service: an async query layer over the Session facade.
+
+The profiler is the product — PROACT's compile-time sweep picks the
+transfer configuration per (application, platform), and the collective
+tuner does the same for (collective, payload).  This package serves
+those sweeps to many concurrent clients::
+
+    from repro.service import TuningService, ProfileQuery
+
+    async with TuningService(shards=4) as service:
+        result = await service.submit(
+            ProfileQuery("4x_volta", PageRankWorkload()))
+        print(result.plan.label(), result.outcome, result.latency_s)
+
+A query is resolved in three tiers:
+
+1. **Cache hit** — the signature-keyed
+   :class:`~repro.core.cache.ProfileStore` /
+   :class:`~repro.collectives.tuner.CollectivePlanStore` already holds
+   the plan: the reply returns in microseconds without touching a
+   queue.
+2. **Coalesced** — an identical signature is already being swept:
+   the query attaches to the in-flight future; N concurrent identical
+   queries execute exactly one sweep.
+3. **Miss** — the query is enqueued on its signature's shard (bounded
+   queue; a full queue raises the typed
+   :class:`~repro.errors.ServiceOverloadedError`), swept through the
+   profiler's :class:`~repro.core.profiler.ExecutorBackend` seam, and
+   the winning plan is version-fenced into the store for every future
+   query.
+
+:class:`ThreadedTuningService` wraps the event loop in a daemon thread
+for synchronous callers (benchmarks, classic request/response clients),
+and :func:`zipfian_indices` generates the skewed signature mixes the
+load tests and benchmarks replay.
+"""
+
+from repro.service.queries import (
+    CollectiveQuery,
+    ProfileQuery,
+    TuningQuery,
+    TuningResult,
+)
+from repro.service.core import ThreadedTuningService, TuningService
+from repro.service.mix import QueryMix, zipfian_indices
+
+__all__ = [
+    "TuningService",
+    "ThreadedTuningService",
+    "TuningQuery",
+    "ProfileQuery",
+    "CollectiveQuery",
+    "TuningResult",
+    "QueryMix",
+    "zipfian_indices",
+]

@@ -1,0 +1,430 @@
+"""The tuning service: queue → coalesce → shard → store.
+
+:class:`TuningService` is a small asyncio server.  ``submit`` first
+tries the plan stores (a hit returns in microseconds and never touches
+a queue), then the in-flight table (an identical signature already
+being swept gets the same future — N concurrent identical queries run
+exactly one sweep), and only then enqueues the query on its signature's
+shard.  Shards are bounded :class:`asyncio.Queue`\\ s drained by one
+worker task each; a full shard rejects immediately with the typed
+:class:`~repro.errors.ServiceOverloadedError` instead of queueing
+unboundedly.  Sweeps execute on a thread pool through the profiler's
+:class:`~repro.core.profiler.ExecutorBackend` seam, so
+``TuningService(jobs=4)`` gives every shard a warm-worker process pool
+and the event loop stays responsive for hits either way.
+
+Per-query deadlines (``submit(..., timeout=...)``) detach the waiter,
+never the sweep: the result still lands in the store and resolves any
+coalesced waiters, so the pool stays healthy and a retry usually hits.
+:meth:`invalidate` bumps the stores' versions, which fences out puts
+from sweeps that started before the invalidation (see
+:mod:`repro.core.store`).
+
+Metrics ride a
+:class:`~repro.obs.metrics.ThreadSafeMetricsRegistry` — request
+counters by outcome, queue-depth gauges, and latency histograms — and
+:meth:`stats` is the JSON-ready endpoint view (hit rate, queue depths,
+p50/p99 per outcome).
+
+Shard affinity is ``crc32(signature) % shards``: stable across runs
+(unlike salted ``hash``), so a given signature always lands on the same
+shard and per-shard FIFO order gives identical queries a natural
+coalescing window even beyond the in-flight table.
+
+For synchronous callers — benchmarks, tests, classic request/response
+clients — :class:`ThreadedTuningService` runs the loop in a daemon
+thread and exposes blocking ``query``/``stats``/``invalidate``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.collectives.tuner import CollectivePlanStore
+from repro.core.cache import ProfileStore
+from repro.core.profiler import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.errors import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from repro.hw.platform import PlatformSpec
+from repro.obs.metrics import ThreadSafeMetricsRegistry
+from repro.service.queries import ResolvedQuery, TuningQuery, TuningResult
+
+__all__ = ["TuningService", "ThreadedTuningService"]
+
+#: Outcomes `submit` can record (rejected/timeout raise, the rest reply).
+OUTCOMES = ("hit", "coalesced", "miss", "rejected", "timeout", "error")
+
+
+class _Job:
+    """One enqueued miss: the resolved query plus its shared future."""
+
+    __slots__ = ("resolved", "future", "version", "enqueued_at")
+
+    def __init__(self, resolved: ResolvedQuery,
+                 future: "asyncio.Future[Any]", version: int,
+                 enqueued_at: float) -> None:
+        self.resolved = resolved
+        self.future = future
+        self.version = version
+        self.enqueued_at = enqueued_at
+
+
+class TuningService:
+    """Async tuning/simulation query server over the plan stores.
+
+    Args:
+        shards: Worker count; each owns one bounded queue and one
+            executor backend.  Signatures map to shards by stable hash.
+        queue_depth: Bound per shard queue; a full queue rejects with
+            :class:`~repro.errors.ServiceOverloadedError`.
+        jobs: Per-shard sweep fan-out.  ``None``/1 sweeps serially in
+            the shard's thread; >1 gives each shard a warm-worker
+            :class:`~repro.core.profiler.ProcessPoolBackend`.
+        profile_store / plan_store: Shared stores (fresh in-memory ones
+            by default).  Pass file-backed stores to persist plans
+            across service restarts and share them with offline sweeps.
+        default_platform: Platform for queries constructed with
+            ``platform=None``.
+        default_timeout: Deadline (seconds) applied when ``submit`` is
+            called without one; ``None`` waits forever.
+        backend_factory: ``shard_index -> ExecutorBackend`` override
+            (tests inject latency/counting backends here).
+    """
+
+    def __init__(self, *, shards: int = 2, queue_depth: int = 64,
+                 jobs: Optional[int] = None,
+                 profile_store: Optional[ProfileStore] = None,
+                 plan_store: Optional[CollectivePlanStore] = None,
+                 default_platform: Optional[PlatformSpec] = None,
+                 default_timeout: Optional[float] = None,
+                 backend_factory: Optional[
+                     Callable[[int], ExecutorBackend]] = None) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need >= 1 shard: {shards}")
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"need >= 1 queue slot per shard: {queue_depth}")
+        self.shards = shards
+        self.queue_depth = queue_depth
+        self.profile_store = profile_store or ProfileStore()
+        self.plan_store = plan_store or CollectivePlanStore()
+        self.default_platform = default_platform
+        self.default_timeout = default_timeout
+        if backend_factory is None:
+            if jobs is not None and jobs > 1:
+                backend_factory = lambda shard: ProcessPoolBackend(jobs)  # noqa: E731
+            else:
+                backend_factory = lambda shard: SerialBackend()  # noqa: E731
+        self._backend_factory = backend_factory
+        self.metrics = ThreadSafeMetricsRegistry()
+        self._queues: List["asyncio.Queue[_Job]"] = []
+        self._workers: List["asyncio.Task[None]"] = []
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._backends: List[ExecutorBackend] = []
+        self._executor: Optional[Any] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "TuningService":
+        """Spawn the shard workers; idempotent."""
+        if self._running:
+            return self
+        import concurrent.futures
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.shards,
+            thread_name_prefix="tuning-shard")
+        self._queues = [asyncio.Queue(maxsize=self.queue_depth)
+                        for _ in range(self.shards)]
+        self._backends = [self._backend_factory(shard)
+                          for shard in range(self.shards)]
+        self._workers = [
+            asyncio.ensure_future(self._worker(shard))
+            for shard in range(self.shards)]
+        self._running = True
+        for shard in range(self.shards):
+            self.metrics.set_gauge("service_queue_depth", 0, shard=shard)
+        return self
+
+    async def aclose(self) -> None:
+        """Stop accepting queries, cancel workers, release the pool."""
+        if not self._running:
+            return
+        self._running = False
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for signature, future in list(self._inflight.items()):
+            if not future.done():
+                future.set_exception(ServiceClosedError(
+                    f"service closed while sweeping {signature}"))
+            # Mark retrieved so abandoned futures don't log warnings.
+            future.cancelled() or future.exception()
+        self._inflight.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "TuningService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def shard_for(self, signature: str) -> int:
+        """Stable shard affinity for a signature."""
+        return zlib.crc32(signature.encode()) % self.shards
+
+    async def submit(self, query: TuningQuery,
+                     timeout: Optional[float] = None) -> TuningResult:
+        """Answer one query (see the three-tier walk in the module doc).
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        target shard's queue is full,
+        :class:`~repro.errors.ServiceTimeoutError` when the deadline
+        expires first, and re-raises whatever a failing sweep raised.
+        """
+        if not self._running:
+            raise ServiceClosedError(
+                "service is not running; use `async with TuningService()`"
+                " or await start()")
+        if timeout is None:
+            timeout = self.default_timeout
+        started = time.perf_counter()
+        resolved = query.resolve(self.default_platform)
+        signature = resolved.signature
+
+        plan = resolved.lookup(self.profile_store, self.plan_store)
+        if plan is not None:
+            return self._reply(plan, "hit", started, signature)
+
+        future = self._inflight.get(signature)
+        if future is not None:
+            outcome = "coalesced"
+        else:
+            outcome = "miss"
+            shard = self.shard_for(signature)
+            queue = self._queues[shard]
+            future = asyncio.get_running_loop().create_future()
+            job = _Job(resolved, future,
+                       resolved.store_version(self.profile_store,
+                                              self.plan_store),
+                       time.perf_counter())
+            try:
+                queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.metrics.inc("service_requests", outcome="rejected")
+                raise ServiceOverloadedError(
+                    f"shard {shard} queue is full "
+                    f"({self.queue_depth} deep); retry later",
+                    shard=shard, depth=self.queue_depth) from None
+            self._inflight[signature] = future
+            self.metrics.set_gauge("service_queue_depth", queue.qsize(),
+                                   shard=shard)
+
+        try:
+            # shield: a timeout (or caller cancellation) detaches this
+            # waiter without cancelling the shared sweep.
+            plan = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.inc("service_requests", outcome="timeout")
+            raise ServiceTimeoutError(
+                f"query exceeded its {timeout}s deadline; the sweep "
+                "continues and will seed the cache", signature=signature,
+                timeout=float(timeout or 0.0)) from None
+        return self._reply(plan, outcome, started, signature)
+
+    def _reply(self, plan: Any, outcome: str, started: float,
+               signature: str) -> TuningResult:
+        latency = time.perf_counter() - started
+        self.metrics.inc("service_requests", outcome=outcome)
+        self.metrics.observe("service_latency_s", latency,
+                             outcome=outcome)
+        return TuningResult(plan=plan, outcome=outcome,
+                            latency_s=latency, signature=signature)
+
+    # ------------------------------------------------------------------
+    # Shard workers
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        backend = self._backends[shard]
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await queue.get()
+            signature = job.resolved.signature
+            self.metrics.set_gauge("service_queue_depth", queue.qsize(),
+                                   shard=shard)
+            self.metrics.observe(
+                "service_queue_wait_s",
+                time.perf_counter() - job.enqueued_at, shard=shard)
+            sweep_started = time.perf_counter()
+            try:
+                plan = await loop.run_in_executor(
+                    self._executor, job.resolved.compute, backend)
+            except Exception as exc:
+                self._inflight.pop(signature, None)
+                self.metrics.inc("service_requests", outcome="error")
+                if not job.future.done():
+                    job.future.set_exception(exc)
+                    # Mark retrieved in case every waiter timed out.
+                    job.future.exception()
+            else:
+                job.resolved.store(self.profile_store, self.plan_store,
+                                   plan, if_version=job.version)
+                self._inflight.pop(signature, None)
+                self.metrics.inc("service_sweeps", shard=shard)
+                self.metrics.observe(
+                    "service_sweep_s",
+                    time.perf_counter() - sweep_started, shard=shard)
+                if not job.future.done():
+                    job.future.set_result(plan)
+            finally:
+                queue.task_done()
+
+    # ------------------------------------------------------------------
+    # Control plane (thread-safe: stores and metrics carry locks)
+    # ------------------------------------------------------------------
+    def invalidate(self, platform_name: Optional[str] = None) -> int:
+        """Model code changed: drop matching plans from both stores.
+
+        Bumps both stores' versions so in-flight sweeps started before
+        this call cannot re-seed the cache (their puts are fenced out;
+        their waiters still get the computed plan).  Returns the number
+        of entries removed.
+        """
+        removed = self.profile_store.invalidate(platform_name=platform_name)
+        removed += self.plan_store.invalidate(platform_name=platform_name)
+        self.metrics.inc("service_invalidations")
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """The metrics endpoint: one JSON-ready health/latency view."""
+        requests = {outcome: self.metrics.get("service_requests",
+                                              outcome=outcome)
+                    for outcome in OUTCOMES}
+        answered = (requests["hit"] + requests["coalesced"]
+                    + requests["miss"])
+        latency = {}
+        for outcome in ("hit", "coalesced", "miss"):
+            histogram = self.metrics.get_histogram("service_latency_s",
+                                                   outcome=outcome)
+            if histogram.count:
+                latency[outcome] = histogram.as_dict()
+        return {
+            "running": self._running,
+            "shards": self.shards,
+            "queue_depth_bound": self.queue_depth,
+            "requests": requests,
+            "answered": answered,
+            "hit_rate": requests["hit"] / answered if answered else 0.0,
+            "sweeps": self.metrics.total("service_sweeps"),
+            "inflight": len(self._inflight),
+            "queue_depths": {
+                shard: self.metrics.get_gauge("service_queue_depth",
+                                              shard=shard)
+                for shard in range(self.shards)},
+            "store_entries": {"profiles": len(self.profile_store),
+                              "plans": len(self.plan_store)},
+            "store_versions": {"profiles": self.profile_store.version,
+                               "plans": self.plan_store.version},
+            "latency_s": latency,
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (f"<TuningService {state}: {self.shards} shard(s), "
+                f"queue depth {self.queue_depth}, "
+                f"{len(self.profile_store)}+{len(self.plan_store)} "
+                f"cached plans>")
+
+
+class ThreadedTuningService:
+    """Blocking facade: the service loop runs in a daemon thread.
+
+    The synchronous twin of ``async with TuningService(...)``::
+
+        with ThreadedTuningService(shards=4) as service:
+            result = service.query(ProfileQuery("4x_volta", workload))
+
+    ``query`` is safe to call from many client threads at once — each
+    call schedules a coroutine onto the service loop and blocks on its
+    outcome, so the load tests drive realistic concurrent traffic with
+    plain threads.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self.service = TuningService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ThreadedTuningService":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="tuning-service-loop", daemon=True)
+        self._thread.start()
+        self._call(self.service.start())
+        return self
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coro: Any) -> Any:
+        if self._loop is None:
+            raise ServiceClosedError("threaded service is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def query(self, query: TuningQuery,
+              timeout: Optional[float] = None) -> TuningResult:
+        """Blocking :meth:`TuningService.submit` from any thread."""
+        if self._loop is None:  # before building the coroutine
+            raise ServiceClosedError("threaded service is not running")
+        return self._call(self.service.submit(query, timeout=timeout))
+
+    def invalidate(self, platform_name: Optional[str] = None) -> int:
+        return self.service.invalidate(platform_name=platform_name)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats()
+
+    @property
+    def metrics(self) -> ThreadSafeMetricsRegistry:
+        return self.service.metrics
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        self._call(self.service.aclose())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedTuningService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""Skewed query mixes for soak tests, benchmarks, and the experiment.
+
+Real tuning traffic is zipfian: a handful of (platform, workload,
+paradigm) signatures dominate while a long tail trickles in — exactly
+the regime a signature-keyed cache exists for.  :func:`zipfian_indices`
+draws a reproducible rank-skewed index stream, and :class:`QueryMix`
+pairs it with a concrete query universe plus the bookkeeping the load
+tests assert on (expected unique signatures = expected sweeps under
+perfect coalescing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.service.queries import TuningQuery
+
+
+def zipfian_indices(universe: int, count: int, *, s: float = 1.2,
+                    seed: int = 0) -> List[int]:
+    """``count`` indices in ``[0, universe)`` with zipf(s) rank weights.
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``1 / r**s``; ``s≈1.2`` makes the top signature roughly a third of
+    all traffic at a 12-entry universe.  Deterministic per seed.
+    """
+    if universe < 1:
+        raise ConfigurationError(f"need >= 1 universe entry: {universe}")
+    if count < 0:
+        raise ConfigurationError(f"need >= 0 draws: {count}")
+    weights = [1.0 / (rank ** s) for rank in range(1, universe + 1)]
+    rng = random.Random(seed)
+    return rng.choices(range(universe), weights=weights, k=count)
+
+
+@dataclass
+class QueryMix:
+    """A query universe plus a drawn request stream over it."""
+
+    universe: Sequence[TuningQuery]
+    indices: List[int]
+
+    @classmethod
+    def zipfian(cls, universe: Sequence[TuningQuery], count: int, *,
+                s: float = 1.2, seed: int = 0) -> "QueryMix":
+        return cls(universe=list(universe),
+                   indices=zipfian_indices(len(universe), count,
+                                           s=s, seed=seed))
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __iter__(self):
+        for index in self.indices:
+            yield self.universe[index]
+
+    @property
+    def unique_queries(self) -> int:
+        """Distinct universe entries actually drawn — the expected
+        sweep count when every miss coalesces perfectly."""
+        return len(set(self.indices))
+
+    def waves(self, size: int) -> List[List[TuningQuery]]:
+        """The stream chopped into consecutive waves of ``size``."""
+        if size < 1:
+            raise ConfigurationError(f"need >= 1 per wave: {size}")
+        queries = [self.universe[index] for index in self.indices]
+        return [queries[i:i + size]
+                for i in range(0, len(queries), size)]
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "QueryMix":
+        return QueryMix(universe=self.universe,
+                        indices=self.indices[start:stop])

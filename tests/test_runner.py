@@ -29,9 +29,10 @@ FAST = ["table1", "fig2"]
 def test_registry_covers_every_experiment_module():
     names = experiment_names()
     assert names[0] == "table1"  # canonical serial order preserved
-    assert len(names) == len(set(names)) == len(REGISTRY) == 16
+    assert len(names) == len(set(names)) == len(REGISTRY) == 17
     for expected in ("fig1", "fig7", "table2", "ablations", "sensitivity",
-                     "utilization", "collectives", "cluster", "autotune"):
+                     "utilization", "collectives", "cluster", "autotune",
+                     "service"):
         assert expected in names
 
 

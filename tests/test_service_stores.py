@@ -1,0 +1,315 @@
+"""Concurrency and persistence properties of the signature-keyed stores.
+
+The tuning service hammers :class:`~repro.core.cache.ProfileStore` and
+:class:`~repro.collectives.tuner.CollectivePlanStore` from worker
+threads and (via the warm sweep pool) from sibling processes sharing
+one store file.  These tests pin the contracts that makes that safe:
+no lost updates under a thread pool, version-fenced puts that cannot
+resurrect invalidated plans, byte-identical plans across a
+persist/reload round trip, and atomic (never torn) store files.
+"""
+
+import json
+import os
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.tuner import CollectiveChoice, CollectivePlanStore
+from repro.core.cache import ProfileStore
+from repro.core.config import ProactConfig
+from repro.errors import CollectiveError, ProactError
+from repro.units import KiB
+
+fast_settings = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+def config(i):
+    """A distinct-but-valid plan per index (chunk size encodes i)."""
+    return ProactConfig("polling", (i + 1) * 4 * KiB, 1024)
+
+
+def choice(i):
+    return CollectiveChoice("ring", (i + 1) * 4 * KiB)
+
+
+# ---------------------------------------------------------------------------
+# No lost updates
+# ---------------------------------------------------------------------------
+
+
+def test_profile_store_keeps_every_update_from_a_thread_pool():
+    store = ProfileStore()
+    threads, puts_each = 8, 50
+
+    def writer(tid):
+        for i in range(puts_each):
+            assert store.put("4x_volta", f"w{tid}_{i}", config(i), "sig")
+            # Interleave reads; a half-applied mutation would surface
+            # here as a None or a foreign value.
+            got = store.get("4x_volta", f"w{tid}_{i}", "sig")
+            assert got == config(i)
+
+    with ThreadPoolExecutor(threads) as pool:
+        for _ in pool.map(writer, range(threads)):
+            pass
+    assert len(store) == threads * puts_each
+
+
+def test_plan_store_keeps_every_update_from_a_thread_pool():
+    store = CollectivePlanStore()
+    threads, puts_each = 8, 50
+
+    def writer(tid):
+        for i in range(puts_each):
+            assert store.put("4x_volta", "all_reduce", f"b{tid}_{i}",
+                             choice(i), "sig")
+            assert store.get("4x_volta", "all_reduce", f"b{tid}_{i}",
+                             "sig") == choice(i)
+
+    with ThreadPoolExecutor(threads) as pool:
+        for _ in pool.map(writer, range(threads)):
+            pass
+    assert len(store) == threads * puts_each
+
+
+# ---------------------------------------------------------------------------
+# Versioned invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_put_fenced_by_version_is_refused_after_invalidate():
+    store = ProfileStore()
+    version = store.version
+    store.invalidate()  # model code changed while a sweep was running
+    assert not store.put("4x_volta", "Pagerank", config(0), "sig",
+                         if_version=version)
+    assert store.get("4x_volta", "Pagerank", "sig") is None
+    # A put fenced on the *current* version lands.
+    assert store.put("4x_volta", "Pagerank", config(0), "sig",
+                     if_version=store.version)
+    assert store.get("4x_volta", "Pagerank", "sig") == config(0)
+
+
+def test_plan_store_put_fenced_by_version_is_refused_after_invalidate():
+    store = CollectivePlanStore()
+    version = store.version
+    store.invalidate()
+    assert not store.put("4x_volta", "all_reduce", "small", choice(0),
+                         "sig", if_version=version)
+    assert store.get("4x_volta", "all_reduce", "small", "sig") is None
+
+
+def test_no_stale_reads_after_concurrent_invalidation():
+    """Sweeps that started before an invalidation can never land: every
+    racing fenced put either completes before the invalidate (and is
+    removed by it) or is refused after it — so once ``invalidate``
+    returns and the writers drain, the store holds nothing stale."""
+    store = ProfileStore()
+    writers = 8
+    barrier = threading.Barrier(writers + 1)
+
+    def stale_writer(tid):
+        version = store.version  # observed before the invalidation
+        barrier.wait()
+        return store.put("4x_volta", f"w{tid}", config(tid), "sig",
+                         if_version=version)
+
+    with ThreadPoolExecutor(writers) as pool:
+        futures = [pool.submit(stale_writer, tid)
+                   for tid in range(writers)]
+        barrier.wait()
+        store.invalidate()
+        landed = [f.result() for f in futures]
+    # Some puts may have squeezed in before the invalidate bumped the
+    # version — those were then removed by it.  None may remain.
+    assert len(store) == 0
+    for tid, did_land in enumerate(landed):
+        assert store.get("4x_volta", f"w{tid}", "sig") is None, did_land
+    # Post-invalidation puts are unaffected.
+    assert store.put("4x_volta", "fresh", config(1), "sig")
+    assert len(store) == 1
+
+
+def test_invalidate_is_selective_and_bumps_version_once_per_call():
+    store = ProfileStore()
+    store.put("4x_volta", "Pagerank", config(0), "a")
+    store.put("4x_volta", "Pagerank", config(1), "b")
+    store.put("2x_pascal", "Jacobi", config(2), "a")
+    before = store.version
+    assert store.invalidate(signature="a") == 2
+    assert store.version == before + 1
+    assert store.get("4x_volta", "Pagerank", "a") is None
+    assert store.get("4x_volta", "Pagerank", "b") == config(1)
+
+
+# ---------------------------------------------------------------------------
+# Serial-equivalence property (hypothesis)
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 5), st.integers(0, 7)),
+        st.tuples(st.just("get"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("invalidate"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("invalidate_all"), st.just(0), st.just(0)),
+    ),
+    max_size=40)
+
+
+@fast_settings
+@given(ops=_ops)
+def test_store_matches_a_plain_dict_model(ops):
+    """Any op sequence leaves the store equivalent to the obvious
+    dict-plus-counter model: no op loses, leaks, or resurrects a plan."""
+    store = ProfileStore()
+    model, version = {}, 0
+    for op, k, v in ops:
+        key = ("4x_volta", f"w{k}", "sig")
+        if op == "put":
+            assert store.put(key[0], key[1], config(v), "sig",
+                             if_version=version)
+            model[key] = config(v)
+        elif op == "get":
+            assert store.get(key[0], key[1], "sig") == model.get(key)
+        elif op == "invalidate":
+            removed = store.invalidate(workload_name=f"w{k}")
+            doomed = [m for m in model if m[1] == f"w{k}"]
+            assert removed == len(doomed)
+            for m in doomed:
+                del model[m]
+            version += 1
+        else:
+            store.invalidate()
+            model.clear()
+            version += 1
+        assert store.version == version
+        assert len(store) == len(model)
+
+
+# ---------------------------------------------------------------------------
+# Persistence: byte identity, atomicity, merge semantics
+# ---------------------------------------------------------------------------
+
+
+def test_plans_survive_persist_reload_byte_identical(tmp_path):
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path)
+    plan = ProactConfig("cdp", 128 * KiB, 2048)
+    store.put("4x_volta", "Pagerank", plan, "sig")
+    reloaded = ProfileStore(path).get("4x_volta", "Pagerank", "sig")
+    assert pickle.dumps(reloaded) == pickle.dumps(plan)
+
+    cpath = tmp_path / "plans.json"
+    cstore = CollectivePlanStore(cpath)
+    pick = CollectiveChoice("tree", 128 * KiB)
+    cstore.put("4x_volta", "all_reduce", "large", pick, "sig")
+    got = CollectivePlanStore(cpath).get("4x_volta", "all_reduce",
+                                         "large", "sig")
+    assert pickle.dumps(got) == pickle.dumps(pick)
+
+
+def test_failed_save_leaves_the_previous_file_intact(tmp_path, monkeypatch):
+    """Regression for the torn-read hazard: a save that dies mid-flight
+    (here: the rename itself) must leave the old complete document on
+    disk, never a truncated or half-written one."""
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path)
+    store.put("4x_volta", "Pagerank", config(0), "sig")
+    before = path.read_text()
+
+    def boom(src, dst):
+        raise OSError("simulated crash during rename")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError):
+        store.put("4x_volta", "Jacobi", config(1), "sig")
+    monkeypatch.undo()
+
+    assert path.read_text() == before  # old document, byte for byte
+    assert not list(tmp_path.glob("*.tmp.*"))  # temp file cleaned up
+    survivor = ProfileStore(path)
+    assert survivor.get("4x_volta", "Pagerank", "sig") == config(0)
+    assert survivor.get("4x_volta", "Jacobi", "sig") is None
+
+
+def test_concurrent_reloads_never_observe_torn_json(tmp_path):
+    """A reader loading the store file while a writer saves repeatedly
+    must always parse a complete document (old or new, never partial)."""
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path)
+    store.put("4x_volta", "seed", config(0), "sig")
+    stop = threading.Event()
+    failures = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                ProfileStore(path)
+            except ProactError as exc:  # torn read ⇒ invalid JSON
+                failures.append(exc)
+                return
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for i in range(60):
+            store.put("4x_volta", f"w{i}", config(i % 8), "sig")
+    finally:
+        stop.set()
+        thread.join()
+    assert not failures
+
+
+def test_put_saves_merge_entries_from_a_sibling_store(tmp_path):
+    """Two store objects on one path model two processes appending
+    different signatures; read-merge-write keeps both."""
+    path = tmp_path / "profiles.json"
+    ours, theirs = ProfileStore(path), ProfileStore(path)
+    ours.put("4x_volta", "Pagerank", config(0), "a")
+    theirs.put("4x_volta", "Jacobi", config(1), "b")
+    merged = ProfileStore(path)
+    assert merged.get("4x_volta", "Pagerank", "a") == config(0)
+    assert merged.get("4x_volta", "Jacobi", "b") == config(1)
+
+
+def test_invalidate_save_is_authoritative_not_merged(tmp_path):
+    """Invalidation must overwrite, not merge — merging would resurrect
+    exactly the on-disk entries being invalidated."""
+    path = tmp_path / "profiles.json"
+    store = ProfileStore(path)
+    store.put("4x_volta", "Pagerank", config(0), "a")
+    store.put("4x_volta", "Jacobi", config(1), "b")
+    store.invalidate()
+    assert len(ProfileStore(path)) == 0
+
+
+def test_reload_folds_in_sibling_puts_without_clobbering_ours(tmp_path):
+    path = tmp_path / "profiles.json"
+    ours, theirs = ProfileStore(path), ProfileStore(path)
+    ours.put("4x_volta", "Pagerank", config(0), "a")
+    theirs.put("4x_volta", "Pagerank", config(5), "a")  # conflicting key
+    theirs.put("4x_volta", "Jacobi", config(1), "b")
+    ours.reload()
+    # Ours wins the conflict; the genuinely new entry appears.
+    assert ours.get("4x_volta", "Pagerank", "a") == config(0)
+    assert ours.get("4x_volta", "Jacobi", "b") == config(1)
+
+
+def test_corrupt_documents_raise_the_store_specific_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ truncated")
+    with pytest.raises(ProactError):
+        ProfileStore(bad)
+    with pytest.raises(CollectiveError):
+        CollectivePlanStore(bad)
+    shallow = tmp_path / "shallow.json"
+    shallow.write_text(json.dumps({"onlyonepart": {}}))
+    with pytest.raises(ProactError):
+        ProfileStore(shallow)
