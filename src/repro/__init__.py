@@ -21,11 +21,14 @@ every table and figure from the paper's evaluation.
 
 from repro.api import Session
 
+from repro.ablation import AblationReport, AblationRun, generate_runset, run_ablation
 from repro.core import (
+    DEFAULT_MECHANISMS,
     GpuPhaseWork,
     MECH_CDP,
     MECH_INLINE,
     MECH_POLLING,
+    Mechanisms,
     ProactConfig,
     ProactPhaseExecutor,
     ProactRegion,
@@ -62,6 +65,12 @@ __all__ = [
     "System",
     "KernelSpec",
     "ProactConfig",
+    "Mechanisms",
+    "DEFAULT_MECHANISMS",
+    "AblationRun",
+    "AblationReport",
+    "generate_runset",
+    "run_ablation",
     "ProactRegion",
     "ProactPhaseExecutor",
     "ReadinessTracker",

@@ -1,0 +1,69 @@
+"""Ablation run-set generation: baseline + one single-flip run per switch.
+
+The discipline mirrors stage-4 ablation studies: one run with every
+mechanism enabled (the *baseline*), then exactly one run per component
+with only that component switched off.  Comparing each single-flip run
+against the baseline isolates that component's contribution; no run
+flips two switches at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import Mechanisms
+from repro.errors import ConfigurationError
+
+#: Name of the all-mechanisms-on run in every run set.
+BASELINE = "baseline"
+
+
+@dataclass(frozen=True)
+class AblationRun:
+    """One run of an ablation study.
+
+    ``component`` is :data:`BASELINE` for the all-on run, otherwise the
+    single :class:`~repro.core.config.Mechanisms` field this run
+    switches off.
+    """
+
+    component: str
+    mechanisms: Mechanisms
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.component == BASELINE
+
+    def label(self) -> str:
+        if self.is_baseline:
+            return BASELINE
+        return f"-{self.component}"
+
+
+def generate_runset(
+        components: Optional[Sequence[str]] = None) -> Tuple[AblationRun, ...]:
+    """The baseline plus one single-flip run per component.
+
+    ``components`` restricts (and orders) the flips; ``None`` means
+    every :class:`~repro.core.config.Mechanisms` switch.  Duplicates and
+    unknown names are configuration errors — a run set where the same
+    switch is flipped twice would double-count that component.
+    """
+    known = Mechanisms.component_names()
+    if components is None:
+        components = known
+    seen = set()
+    for component in components:
+        if component not in known:
+            raise ConfigurationError(
+                f"unknown mechanism component {component!r}; "
+                f"expected one of {known}")
+        if component in seen:
+            raise ConfigurationError(
+                f"duplicate ablation flip {component!r}")
+        seen.add(component)
+    runs = [AblationRun(BASELINE, Mechanisms())]
+    runs.extend(AblationRun(component, Mechanisms.ablate(component))
+                for component in components)
+    return tuple(runs)

@@ -29,6 +29,7 @@ session; grab them with :meth:`chrome_trace`, :attr:`metrics`, and
 from __future__ import annotations
 
 import json
+import typing
 from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Union
 
 from contextlib import ExitStack, contextmanager
@@ -39,6 +40,9 @@ from repro.interconnect.link import DEFAULT_QUANTUM
 from repro.obs.capture import Observation, observing
 from repro.obs.metrics import MetricsRegistry
 from repro.validate.scope import Validation, validating
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import Mechanisms
 
 __all__ = ["Session"]
 
@@ -93,6 +97,12 @@ class Session:
         quantum: Link service quantum in bytes.
         dma_engines: DMA engines per GPU for systems built via
             :meth:`system` / :meth:`collective`.
+        mechanisms: Mechanism-ablation policy
+            (:class:`~repro.core.config.Mechanisms`).  Every system,
+            paradigm, and profiler built through this session honors
+            the switches; ``None`` (the default) enables everything::
+
+                Session(mechanisms=Mechanisms(write_coalescing=False))
     """
 
     DEFAULT_PLATFORM = "4x_volta"
@@ -106,7 +116,8 @@ class Session:
                  verbose_trace: bool = False,
                  infinite_bw: bool = False,
                  quantum: int = DEFAULT_QUANTUM,
-                 dma_engines: int = 1) -> None:
+                 dma_engines: int = 1,
+                 mechanisms: Optional["Mechanisms"] = None) -> None:
         if platform is None:
             platform = self.DEFAULT_PLATFORM
         if isinstance(platform, str):
@@ -120,6 +131,7 @@ class Session:
         self.infinite_bw = infinite_bw
         self.quantum = quantum
         self.dma_engines = dma_engines
+        self.mechanisms = mechanisms
         # One long-lived observation/validation per session: every entry
         # point below re-installs them as the ambient scopes, so results
         # accumulate across calls.
@@ -161,11 +173,8 @@ class Session:
         policy; call :meth:`finish` on it when your manual run
         completes to flush observability and run the validation audit.
         """
-        from repro.runtime.system import System
         with self.scope():
-            return System(self.platform, infinite_bw=self.infinite_bw,
-                          quantum=self.quantum,
-                          dma_engines=self.dma_engines)
+            return self._build_system()
 
     def finish(self, system) -> None:
         """Flush a hand-driven system built via :meth:`system`.
@@ -191,6 +200,10 @@ class Session:
         :class:`~repro.paradigms.ParadigmResult`.
         """
         instance = self._resolve_paradigm(paradigm, paradigm_kwargs)
+        if self.mechanisms is not None and instance.mechanisms is None:
+            # The session's ablation policy applies unless the paradigm
+            # was constructed with an explicit one.
+            instance.mechanisms = self.mechanisms
         with self.scope():
             return instance.execute(workload, self.platform)
 
@@ -224,7 +237,7 @@ class Session:
             thread_counts=thread_counts or PROFILE_THREAD_COUNTS,
             mechanisms=mechanisms or ALL_MECHANISMS,
             search=strategy if strategy is not None else search,
-            prune=prune, progress=progress)
+            prune=prune, progress=progress, toggles=self.mechanisms)
         if jobs is not None and jobs > 1:
             profiler = ParallelProfiler(self.platform, jobs=jobs, **kwargs)
         else:
@@ -377,7 +390,8 @@ class Session:
     def _build_system(self):
         from repro.runtime.system import System
         return System(self.platform, infinite_bw=self.infinite_bw,
-                      quantum=self.quantum, dma_engines=self.dma_engines)
+                      quantum=self.quantum, dma_engines=self.dma_engines,
+                      mechanisms=self.mechanisms)
 
     def _resolve_paradigm(self, paradigm: Union[str, Any],
                           kwargs: Dict[str, Any]):
@@ -412,6 +426,8 @@ class Session:
                 flags.append("sweeps")
         if self.infinite_bw:
             flags.append("infinite_bw")
+        if self.mechanisms is not None and not self.mechanisms.all_enabled:
+            flags.append(self.mechanisms.describe())
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (f"<Session {self.platform.name}: "
                 f"{self.platform.num_gpus} GPUs{suffix}>")

@@ -7,6 +7,7 @@ from repro.core.config import (
     ALL_MECHANISMS_WITH_HW,
     DECOUPLED_MECHANISMS,
     DEFAULT_CONFIG,
+    DEFAULT_MECHANISMS,
     DEFAULT_POLL_PERIOD,
     MECH_CDP,
     MECH_HARDWARE,
@@ -14,6 +15,7 @@ from repro.core.config import (
     MECH_POLLING,
     PROFILE_CHUNK_SIZES,
     PROFILE_THREAD_COUNTS,
+    Mechanisms,
     ProactConfig,
 )
 from repro.core.hardware import HW_DESCRIPTOR_LATENCY, HardwareAgent
@@ -60,7 +62,9 @@ from repro.core.tracker import ReadinessTracker, tracking_overhead
 
 __all__ = [
     "ProactConfig",
+    "Mechanisms",
     "DEFAULT_CONFIG",
+    "DEFAULT_MECHANISMS",
     "DEFAULT_POLL_PERIOD",
     "MECH_INLINE",
     "MECH_POLLING",

@@ -19,7 +19,7 @@ import typing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.config import ProactConfig
+from repro.core.config import DEFAULT_MECHANISMS, ProactConfig
 from repro.errors import ProactError
 from repro.interconnect.link import Link
 from repro.interconnect.packet import PacketFormat
@@ -57,19 +57,30 @@ class DecoupledAgent:
     def __init__(self, system: "System", src_id: int,
                  config: ProactConfig, destinations: List[int],
                  elide_transfers: bool = False,
-                 peer_fraction: float = 1.0) -> None:
+                 peer_fraction: float = 1.0,
+                 access_size: int = AGENT_ACCESS_SIZE) -> None:
         if not destinations:
             raise ProactError("agent needs at least one destination GPU")
         if src_id in destinations:
             raise ProactError("agent cannot target its own GPU")
         if not 0.0 < peer_fraction <= 1.0:
             raise ProactError(f"peer fraction out of (0, 1]: {peer_fraction}")
+        if access_size < 1:
+            raise ProactError(f"access size must be >= 1: {access_size}")
         self.system = system
         self.src_id = src_id
         self.config = config
         self.destinations = list(destinations)
         self.elide_transfers = elide_transfers
         self.peer_fraction = peer_fraction
+        #: Remote-store width of this agent's transfers.  Normally the
+        #: coalesced :data:`AGENT_ACCESS_SIZE`; the ``write_coalescing``
+        #: ablation narrows it to the application's natural access size.
+        self.access_size = access_size
+        #: Whether this agent charges FluidShare SM contention (resident
+        #: polling task / CDP copy kernels) against co-running compute.
+        self.fluid_contention = getattr(
+            system, "mechanisms", DEFAULT_MECHANISMS).fluid_contention
         self.stats = AgentStats()
         engine = system.engine
         spec = system.devices[src_id].spec
@@ -178,7 +189,7 @@ class DecoupledAgent:
                         self.src_id, chunk, dst, engine.now)
                 continue
             sends.append(
-                self._routes[dst].transfer(per_dest_bytes, AGENT_ACCESS_SIZE))
+                self._routes[dst].transfer(per_dest_bytes, self.access_size))
         if sends:
             yield engine.all_of(sends)
             if sanitize:

@@ -25,9 +25,12 @@ class CdpAgent(DecoupledAgent):
     def __init__(self, system: "System", src_id: int, config: ProactConfig,
                  destinations: List[int],
                  elide_transfers: bool = False,
-                 peer_fraction: float = 1.0) -> None:
+                 peer_fraction: float = 1.0,
+                 access_size: int | None = None) -> None:
         super().__init__(system, src_id, config, destinations,
-                         elide_transfers, peer_fraction)
+                         elide_transfers, peer_fraction,
+                         **({} if access_size is None
+                            else {"access_size": access_size}))
         self._device = system.devices[src_id]
 
     def _dispatch(self, nbytes: int, chunk=None) -> None:
@@ -55,14 +58,19 @@ class CdpAgent(DecoupledAgent):
                 payload={"bytes": nbytes})
         if engine.metrics.enabled:
             engine.metrics.inc("cdp_launches", src=self.src_id)
-        # While the copy kernel runs, its threads occupy GPU resources.
-        gpu = self.system.gpus[self.src_id]
-        demand = gpu.spec.transfer_thread_demand(self.config.transfer_threads)
-        copy_task = gpu.compute.launch(
-            f"gpu{self.src_id}.cdp-copy", work=float("inf"),
-            demand=max(demand, 1e-6))
+        # While the copy kernel runs, its threads occupy GPU resources —
+        # unless the fluid_contention ablation turned that cost off.
+        copy_task = None
+        if self.fluid_contention:
+            gpu = self.system.gpus[self.src_id]
+            demand = gpu.spec.transfer_thread_demand(
+                self.config.transfer_threads)
+            copy_task = gpu.compute.launch(
+                f"gpu{self.src_id}.cdp-copy", work=float("inf"),
+                demand=max(demand, 1e-6))
         try:
             yield from self._send_chunk(nbytes, chunk)
         finally:
-            gpu.compute.stop(copy_task)
+            if copy_task is not None:
+                self.system.gpus[self.src_id].compute.stop(copy_task)
         self._end_send()

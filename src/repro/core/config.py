@@ -7,7 +7,8 @@ Table II's notation, e.g. ``"D 128kB 2048 Poll"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields, replace
 from typing import Tuple
 
 from repro.errors import ConfigurationError
@@ -41,6 +42,110 @@ DEFAULT_POLL_PERIOD = 4e-6
 
 
 @dataclass(frozen=True)
+class Mechanisms:
+    """PROACT's component mechanisms as typed ablatable switches.
+
+    Every simulation honors these switches: thread an instance through
+    :class:`repro.api.Session`, a paradigm constructor, or
+    :class:`~repro.runtime.system.System` and the corresponding model
+    component is enabled (the default) or *ablated*.  The ablation
+    harness (:mod:`repro.ablation`) flips one switch at a time to
+    measure how much each component contributes to PROACT's speedup
+    (the paper's Table II mechanism-selection story).
+
+    Ablated semantics, per field:
+
+    ``write_coalescing``
+        Off: decoupled transfer agents lose their tightly-packed 256 B
+        store batches (Listing 1) and issue the application's natural
+        fine-grained accesses instead, paying per-access packet
+        overhead exactly like inline stores.
+    ``decoupled_agent``
+        Off: no decoupled transfer agent exists.  The profiler and the
+        auto paradigm consider only inline remote stores; explicitly
+        constructing a decoupled executor raises
+        :class:`~repro.errors.ConfigurationError`.
+    ``readiness_tracking``
+        Off: chunk readiness counters are gone, so no transfer can
+        start until the producer kernel retires (zero compute/transfer
+        overlap) — but kernels also shed the tracking-instrumentation
+        overhead.
+    ``fluid_contention``
+        Off: transfer agents stop stealing SM resources from co-running
+        kernels (the FluidShare residency/copy-kernel demands are not
+        charged).  Removes a modelled cost, so ablating it
+        *under*-estimates runtime.
+    ``packet_overhead``
+        Off: the interconnect carries raw payload — no headers, no
+        granule padding — so wire bytes equal goodput bytes.  Another
+        modelled cost; ablating it collapses Figure 2's efficiency
+        story.
+    ``profiler_pruning``
+        Off: the compile-time profiler's configuration selection is
+        disabled; the framework runs the hard-wired
+        :data:`DEFAULT_CONFIG` instead of the per-app, per-platform
+        tuned configuration.
+    """
+
+    write_coalescing: bool = True
+    decoupled_agent: bool = True
+    readiness_tracking: bool = True
+    fluid_contention: bool = True
+    packet_overhead: bool = True
+    profiler_pruning: bool = True
+
+    @classmethod
+    def component_names(cls) -> Tuple[str, ...]:
+        """Every switch name, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def ablate(cls, *components: str) -> "Mechanisms":
+        """All-on mechanisms with the named components switched off."""
+        names = cls.component_names()
+        for component in components:
+            if component not in names:
+                raise ConfigurationError(
+                    f"unknown mechanism component {component!r}; "
+                    f"expected one of {names}")
+        return cls(**{component: False for component in components})
+
+    def flip(self, component: str) -> "Mechanisms":
+        """A copy with one component toggled."""
+        if component not in self.component_names():
+            raise ConfigurationError(
+                f"unknown mechanism component {component!r}; "
+                f"expected one of {self.component_names()}")
+        return replace(self, **{component: not getattr(self, component)})
+
+    @property
+    def ablated(self) -> Tuple[str, ...]:
+        """The switched-off components, in declaration order."""
+        return tuple(f.name for f in fields(self)
+                     if not getattr(self, f.name))
+
+    @property
+    def all_enabled(self) -> bool:
+        return not self.ablated
+
+    def signature(self) -> str:
+        """Stable identifier for cache keys and sweep signatures."""
+        if self.all_enabled:
+            return "default"
+        return "ablate:" + ",".join(self.ablated)
+
+    def describe(self) -> str:
+        """Human-readable summary (``"all mechanisms on"`` or the flips)."""
+        if self.all_enabled:
+            return "all mechanisms on"
+        return "ablated: " + ", ".join(self.ablated)
+
+
+#: The unablated model — what every simulation runs unless told otherwise.
+DEFAULT_MECHANISMS = Mechanisms()
+
+
+@dataclass(frozen=True)
 class ProactConfig:
     """One point in PROACT's configuration space."""
 
@@ -50,12 +155,21 @@ class ProactConfig:
     poll_period: float = DEFAULT_POLL_PERIOD
     #: Run the phase executor under the readiness sanitizer and the
     #: conservation checker (:mod:`repro.validate`) even outside an
-    #: ambient validation scope.  Checking only observes — it never
-    #: changes timing — but costs bookkeeping per chunk event, so it is
-    #: off by default.
+    #: ambient validation scope.
+    #:
+    #: .. deprecated:: 1.1
+    #:     Validation is a run policy, not a transfer configuration —
+    #:     use ``repro.api.Session(validate=True)`` instead.  Still
+    #:     honored (the executor attaches the sanitizers), but warns.
     validate: bool = False
 
     def __post_init__(self) -> None:
+        if self.validate:
+            warnings.warn(
+                "ProactConfig(validate=True) is deprecated; validation "
+                "is a run policy — use repro.api.Session(..., "
+                "validate=True) instead",
+                DeprecationWarning, stacklevel=2)
         if self.mechanism not in ALL_MECHANISMS_WITH_HW:
             raise ConfigurationError(
                 f"unknown mechanism {self.mechanism!r}; "

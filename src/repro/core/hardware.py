@@ -47,7 +47,8 @@ class HardwareAgent(DecoupledAgent):
     def __init__(self, system: "System", src_id: int, config: ProactConfig,
                  destinations: List[int],
                  elide_transfers: bool = False,
-                 peer_fraction: float = 1.0) -> None:
+                 peer_fraction: float = 1.0,
+                 access_size: int | None = None) -> None:
         # Hardware engines move data at full link speed: model the
         # internal path as wide enough to feed every destination link.
         engine_config = ProactConfig(
@@ -57,7 +58,9 @@ class HardwareAgent(DecoupledAgent):
             poll_period=config.poll_period,
             validate=config.validate)
         super().__init__(system, src_id, engine_config, destinations,
-                         elide_transfers, peer_fraction)
+                         elide_transfers, peer_fraction,
+                         **({} if access_size is None
+                            else {"access_size": access_size}))
 
     def _dispatch(self, nbytes: int, chunk=None) -> None:
         self._begin_send()

@@ -42,9 +42,13 @@ class PollingAgent(DecoupledAgent):
     def __init__(self, system: "System", src_id: int, config: ProactConfig,
                  destinations: List[int],
                  elide_transfers: bool = False,
-                 peer_fraction: float = 1.0) -> None:
+                 peer_fraction: float = 1.0,
+                 access_size: int | None = None) -> None:
         super().__init__(system, src_id, config, destinations,
-                         elide_transfers, peer_fraction)
+                         elide_transfers, peer_fraction,
+                         **({} if access_size is None
+                            else {"access_size": access_size}))
+        self._started = False
         self._resident_task: FluidTask | None = None
         self._started_at: float | None = None
         self._dispatcher = Resource(system.engine, capacity=1)
@@ -54,23 +58,28 @@ class PollingAgent(DecoupledAgent):
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Launch the persistent polling kernel on the source GPU."""
-        if self._resident_task is not None:
+        if self._started:
             raise ProactError("polling agent already started")
-        gpu = self.system.gpus[self.src_id]
-        demand = (gpu.spec.transfer_thread_demand(self.config.transfer_threads)
-                  + gpu.spec.polling_overhead_fraction)
-        self._resident_task = gpu.compute.launch(
-            f"gpu{self.src_id}.polling-agent", work=math.inf,
-            demand=min(demand, 1.0))
+        self._started = True
+        if self.fluid_contention:
+            gpu = self.system.gpus[self.src_id]
+            demand = (gpu.spec.transfer_thread_demand(
+                          self.config.transfer_threads)
+                      + gpu.spec.polling_overhead_fraction)
+            self._resident_task = gpu.compute.launch(
+                f"gpu{self.src_id}.polling-agent", work=math.inf,
+                demand=min(demand, 1.0))
         self._started_at = self.system.engine.now
 
     def stop(self) -> None:
         """Terminate the polling kernel, releasing its GPU resources."""
-        if self._resident_task is None:
+        if not self._started:
             raise ProactError("polling agent not started")
-        gpu = self.system.gpus[self.src_id]
-        gpu.compute.stop(self._resident_task)
-        self._resident_task = None
+        if self._resident_task is not None:
+            gpu = self.system.gpus[self.src_id]
+            gpu.compute.stop(self._resident_task)
+            self._resident_task = None
+        self._started = False
 
     @property
     def is_resident(self) -> bool:
@@ -80,7 +89,7 @@ class PollingAgent(DecoupledAgent):
     # Chunk dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, nbytes: int, chunk=None) -> None:
-        if self._resident_task is None:
+        if not self._started:
             raise ProactError("chunk_ready() before the agent started")
         self._begin_send()
         self.system.engine.process(

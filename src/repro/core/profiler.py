@@ -133,6 +133,7 @@ from repro.core.config import (
     MECH_INLINE,
     PROFILE_CHUNK_SIZES,
     PROFILE_THREAD_COUNTS,
+    Mechanisms,
     ProactConfig,
 )
 from repro.core.runtime import GpuPhaseWork, ProactPhaseExecutor
@@ -211,9 +212,15 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
                phase_builder: PhaseBuilder,
                elide_transfers: bool = False,
                instrument: bool = True,
-               infinite_bw: bool = False) -> float:
-    """Simulate an application under one configuration; returns runtime."""
-    system = System(platform, infinite_bw=infinite_bw)
+               infinite_bw: bool = False,
+               toggles: Optional[Mechanisms] = None) -> float:
+    """Simulate an application under one configuration; returns runtime.
+
+    ``toggles`` is the mechanism-ablation policy
+    (:class:`~repro.core.config.Mechanisms`); ``None`` means everything
+    enabled.
+    """
+    system = System(platform, infinite_bw=infinite_bw, mechanisms=toggles)
     executor = ProactPhaseExecutor(system, config,
                                    elide_transfers=elide_transfers,
                                    instrument=instrument)
@@ -231,13 +238,14 @@ def run_phases(platform: PlatformSpec, config: ProactConfig,
 
 
 def measure_config(platform: PlatformSpec, config: ProactConfig,
-                   phase_builder: PhaseBuilder) -> ProfileEntry:
+                   phase_builder: PhaseBuilder,
+                   toggles: Optional[Mechanisms] = None) -> ProfileEntry:
     """Measure one configuration (the profiler's unit of work).
 
     A module-level pure function so executor backends can ship it to
     worker processes.
     """
-    runtime = run_phases(platform, config, phase_builder)
+    runtime = run_phases(platform, config, phase_builder, toggles=toggles)
     return ProfileEntry(config=config, runtime=runtime)
 
 
@@ -252,13 +260,18 @@ SweepTask = Tuple[str, int, int, str]
 
 
 def _sweep_task(platform: PlatformSpec, phase_builder: PhaseBuilder,
-                task: SweepTask):
-    """Worker-side dispatch for one streamed config delta."""
+                task: SweepTask, toggles: Optional[Mechanisms] = None):
+    """Worker-side dispatch for one streamed config delta.
+
+    ``toggles`` rides in the worker-resident partial (like the platform
+    and phase builder), so only task tuples cross the queue.
+    """
     mechanism, chunk_size, threads, kind = task
     config = ProactConfig(mechanism, chunk_size, threads)
     if kind == "floor":
-        return run_phases(platform, config, phase_builder, infinite_bw=True)
-    return measure_config(platform, config, phase_builder)
+        return run_phases(platform, config, phase_builder, infinite_bw=True,
+                          toggles=toggles)
+    return measure_config(platform, config, phase_builder, toggles=toggles)
 
 
 def _measure_task(config: ProactConfig) -> SweepTask:
@@ -786,7 +799,8 @@ class Profiler:
                  search: str = "coordinate",
                  backend: Optional[ExecutorBackend] = None,
                  prune: bool = False,
-                 progress: ProgressSink = None) -> None:
+                 progress: ProgressSink = None,
+                 toggles: Optional[Mechanisms] = None) -> None:
         if search not in SEARCH_MODES:
             raise ProactError(
                 f"unknown search mode {search!r}; "
@@ -799,6 +813,16 @@ class Profiler:
                 "search's second wave depends on unpruned first-wave "
                 "winners, and 'search' already prunes via its floor "
                 "certification")
+        #: Mechanism-ablation policy applied to every measurement
+        #: (``None`` = all on).  With ``decoupled_agent`` ablated the
+        #: sweep space collapses to inline only.
+        self.toggles = toggles
+        if toggles is not None and not toggles.decoupled_agent:
+            mechanisms = [m for m in mechanisms if m == MECH_INLINE]
+            if not mechanisms:
+                raise ProactError(
+                    "decoupled_agent is ablated and the requested "
+                    "mechanism list has no inline entry — nothing to sweep")
         self.platform = platform
         self.chunk_sizes = tuple(sorted(chunk_sizes))
         self.thread_counts = tuple(sorted(thread_counts))
@@ -833,6 +857,10 @@ class Profiler:
             # A pruned sweep picks the same winner but records fewer
             # entries, so it must not share cache hits with brute force.
             signature += "|pruned"
+        if self.toggles is not None and not self.toggles.all_enabled:
+            # Ablated sweeps measure a different model; never share
+            # cache hits with the unablated grid.
+            signature += f"|{self.toggles.signature()}"
         return signature
 
     def _progress_sink(self) -> Optional[Callable[[SweepProgress], None]]:
@@ -880,7 +908,8 @@ class Profiler:
         merges them); otherwise both layers are absent entirely.
         """
         fn: Callable[[Any], Any] = functools.partial(
-            _sweep_task, self.platform, phase_builder)
+            _sweep_task, self.platform, phase_builder,
+            toggles=self.toggles)
         if telemetry is not None and telemetry.observation is not None:
             return telemetry.wrap_session(
                 self.backend.open_session(_TelemetryFn(fn)))
@@ -1214,7 +1243,8 @@ class Profiler:
 
     def _measure(self, config: ProactConfig,
                  phase_builder: PhaseBuilder) -> ProfileEntry:
-        return measure_config(self.platform, config, phase_builder)
+        return measure_config(self.platform, config, phase_builder,
+                              toggles=self.toggles)
 
 
 class ParallelProfiler(Profiler):
@@ -1235,9 +1265,10 @@ class ParallelProfiler(Profiler):
                  search: str = "coordinate",
                  jobs: int = 2,
                  prune: bool = False,
-                 progress: ProgressSink = None) -> None:
+                 progress: ProgressSink = None,
+                 toggles: Optional[Mechanisms] = None) -> None:
         super().__init__(platform, chunk_sizes=chunk_sizes,
                          thread_counts=thread_counts, mechanisms=mechanisms,
                          search=search, backend=ProcessPoolBackend(jobs),
-                         prune=prune, progress=progress)
+                         prune=prune, progress=progress, toggles=toggles)
         self.jobs = jobs

@@ -29,6 +29,7 @@ from typing import List, Sequence
 from repro.core.agents import DecoupledAgent
 from repro.core.cdp_agent import CdpAgent
 from repro.core.config import (
+    DEFAULT_MECHANISMS,
     MECH_CDP,
     MECH_HARDWARE,
     MECH_INLINE,
@@ -46,7 +47,7 @@ from repro.core.mapping import ContiguousMapping
 from repro.core.polling import PollingAgent
 from repro.core.region import MappingFactory, ProactRegion
 from repro.core.tracker import tracking_overhead
-from repro.errors import ProactError
+from repro.errors import ConfigurationError, ProactError
 from repro.runtime.kernels import KernelSpec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -140,6 +141,14 @@ class ProactPhaseExecutor:
         self.config = config
         self.elide_transfers = elide_transfers
         self.instrument = instrument
+        #: The system's mechanism-toggle policy; the single choke point
+        #: for the decoupled-agent ablation.
+        self.mechanisms = getattr(system, "mechanisms", DEFAULT_MECHANISMS)
+        if not self.mechanisms.decoupled_agent and config.is_decoupled:
+            raise ConfigurationError(
+                f"mechanism {config.mechanism!r} needs a decoupled "
+                "transfer agent, but the decoupled_agent mechanism is "
+                "ablated — use an inline configuration")
         self._phase_index = 0
         if config.validate and not system.engine.sanitizer.enabled:
             system._attach_validation()
@@ -263,20 +272,25 @@ class ProactPhaseExecutor:
 
     # -- decoupled (polling / CDP) -------------------------------------
     def _make_agent(self, gpu_id: int, destinations: List[int],
-                    peer_fraction: float) -> DecoupledAgent:
+                    peer_fraction: float,
+                    access_size: typing.Optional[int] = None
+                    ) -> DecoupledAgent:
         if self.config.mechanism == MECH_POLLING:
             return PollingAgent(self.system, gpu_id, self.config,
                                 destinations, self.elide_transfers,
-                                peer_fraction=peer_fraction)
+                                peer_fraction=peer_fraction,
+                                access_size=access_size)
         if self.config.mechanism == MECH_CDP:
             return CdpAgent(self.system, gpu_id, self.config, destinations,
                             elide_transfers=self.elide_transfers,
-                            peer_fraction=peer_fraction)
+                            peer_fraction=peer_fraction,
+                            access_size=access_size)
         if self.config.mechanism == MECH_HARDWARE:
             return HardwareAgent(self.system, gpu_id, self.config,
                                  destinations,
                                  elide_transfers=self.elide_transfers,
-                                 peer_fraction=peer_fraction)
+                                 peer_fraction=peer_fraction,
+                                 access_size=access_size)
         raise ProactError(
             f"no decoupled agent for mechanism {self.config.mechanism!r}")
 
@@ -290,12 +304,26 @@ class ProactPhaseExecutor:
             mapping_factory=work.mapping_factory,
             readiness_shape=work.readiness_shape)
         schedule = region.readiness_schedule(gpu, work.kernel)
-        agent = self._make_agent(gpu_id, destinations, work.peer_fraction)
+        tracking = self.mechanisms.readiness_tracking
+        if not tracking:
+            # No readiness counters: every chunk becomes transferable only
+            # when the producer kernel retires (zero overlap).  A fresh
+            # list — the original schedule is memoized per region shape.
+            schedule = [replace(item, fraction=1.0) for item in schedule]
+        agent_access = None
+        if not self.mechanisms.write_coalescing:
+            # Un-coalesced agents issue the application's natural store
+            # pattern instead of packed 256 B batches.
+            agent_access = inline_access_size(
+                work.store_size, work.spatial_locality)
+        agent = self._make_agent(gpu_id, destinations, work.peer_fraction,
+                                 access_size=agent_access)
         polling = isinstance(agent, PollingAgent)
         if polling:
             agent.start()
         kernel_work = work.kernel.uncontended_time(gpu)
-        if self.instrument and self.config.mechanism != MECH_HARDWARE:
+        if (tracking and self.instrument
+                and self.config.mechanism != MECH_HARDWARE):
             # Hardware PROACT tracks readiness in dedicated structures
             # updated by the memory system — no instrumentation cost.
             kernel_work += tracking_overhead(gpu.spec, work.kernel.num_ctas)

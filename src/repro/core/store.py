@@ -26,22 +26,55 @@ warm sweep worker sharing the store path with the service — always
 loads either the old complete document or the new complete document,
 never a truncated prefix.  Put-saves additionally fold in entries that
 another process persisted since our last load (read-merge-write; our
-own entries win), so two processes appending different signatures to
-one file both survive.  ``invalidate`` deliberately skips the merge:
+own entries win), and the read-merge-replace sequence holds an
+exclusive ``flock`` on a sidecar lock file so concurrent saves from
+two processes serialize — two processes appending different signatures
+to one file both survive, with no lost updates even under contention.
+``invalidate`` deliberately skips the merge:
 its save is authoritative, otherwise the merge would resurrect exactly
 the entries it is removing.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 import threading
-from typing import (Callable, Dict, Generic, List, Optional, Tuple,
-                    TypeVar, Union)
+from typing import (Callable, Dict, Generic, Iterator, List, Optional,
+                    Tuple, TypeVar, Union)
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import ReproError
+
+
+@contextlib.contextmanager
+def _file_lock(path: pathlib.Path) -> Iterator[None]:
+    """Cross-process mutual exclusion around one store file.
+
+    An exclusive ``flock`` on a sidecar ``<name>.lock`` file serializes
+    the read-merge-write save critical section between *processes* (the
+    store's RLock only covers threads), so two processes appending to
+    one file cannot interleave read and replace and lose each other's
+    entries.  Plain readers never take the lock — the atomic rename
+    already guarantees they see a complete document.  Degrades to a
+    no-op where ``fcntl`` is unavailable.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 #: Separator between key parts in the persisted JSON document.
 KEY_SEPARATOR = "::"
@@ -168,37 +201,43 @@ class SignatureKeyedStore(Generic[ValueT]):
         With ``merge=True``, entries another process persisted since we
         last read the file are preserved (ours win on conflict); a torn
         or unreadable on-disk document is skipped — losing a merge is
-        survivable, corrupting the save is not.
+        survivable, corrupting the save is not.  The whole
+        read-merge-replace sequence runs under :func:`_file_lock`, so a
+        concurrent save in another process cannot slip its entries in
+        between our read and our replace and have them clobbered.
         """
         assert self.path is not None
-        entries = self._entries
-        if merge and self.path.exists():
+        with _file_lock(self.path):
+            entries = self._entries
+            if merge and self.path.exists():
+                try:
+                    disk = self._read_file(self.path)
+                except ReproError:
+                    disk = {}
+                merged = dict(disk)
+                merged.update(entries)
+                entries = merged
+                self._entries = entries
+            payload = {}
+            for key, value in sorted(entries.items()):
+                parts = [part for part in key if part]
+                payload[KEY_SEPARATOR.join(parts)] = (
+                    self._encode_value(value))
+            text = json.dumps(payload, indent=2, sort_keys=True)
+            # Private temp name (pid-suffixed so two processes saving
+            # the same store path never scribble on each other's temp
+            # file), then an atomic rename: readers see old-or-new,
+            # never partial.
+            tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
             try:
-                disk = self._read_file(self.path)
-            except ReproError:
-                disk = {}
-            merged = dict(disk)
-            merged.update(entries)
-            entries = merged
-            self._entries = entries
-        payload = {}
-        for key, value in sorted(entries.items()):
-            parts = [part for part in key if part]
-            payload[KEY_SEPARATOR.join(parts)] = self._encode_value(value)
-        text = json.dumps(payload, indent=2, sort_keys=True)
-        # Private temp name (pid-suffixed so two processes saving the
-        # same store path never scribble on each other's temp file),
-        # then an atomic rename: readers see old-or-new, never partial.
-        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
-        try:
-            tmp.write_text(text)
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-            raise
+                tmp.write_text(text)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
 
     def _read_file(self, path: pathlib.Path) -> Dict[Key, ValueT]:
         try:

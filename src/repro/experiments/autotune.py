@@ -76,7 +76,7 @@ def run(platform: Optional[PlatformSpec] = None,
 
 def experiment(ctx: ExperimentContext) -> ExperimentResult:
     """Registry entry point (see :mod:`repro.experiments.registry`)."""
-    table = run(quick=ctx.quick, jobs=ctx.profile_jobs)
+    table = run(quick=ctx.quick, jobs=ctx.profile.jobs)
     grid = sum(int(row[2]) for row in table.rows)
     searched = sum(int(row[3]) for row in table.rows)
     return ExperimentResult.build(

@@ -20,12 +20,30 @@ from __future__ import annotations
 
 import importlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ProactError
 from repro.experiments.report import TextTable
 from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class ProfilePolicy:
+    """How the sweeping experiments drive the profiler.
+
+    ``strategy`` is the search mode (``"coordinate"``, ``"exhaustive"``,
+    or ``"search"`` for the floor-seeded autotuner); ``jobs`` fans each
+    sweep over that many warm worker processes.  The defaults reproduce
+    the historical serial coordinate sweep byte-for-byte.
+    """
+
+    strategy: str = "coordinate"
+    jobs: int = 1
+
+
+DEFAULT_PROFILE_POLICY = ProfilePolicy()
 
 
 @dataclass(frozen=True)
@@ -66,9 +84,38 @@ class ExperimentContext:
     quick: bool = True
     observe: bool = False
     validate: bool = False
+    #: .. deprecated:: 1.1  Use ``profile=ProfilePolicy(strategy=...)``.
     profile_strategy: str = "coordinate"
+    #: .. deprecated:: 1.1  Use ``profile=ProfilePolicy(jobs=...)``.
     profile_jobs: int = 1
     sweeps: bool = False
+    #: The profiler policy; supersedes the two legacy fields above.
+    profile: Optional[ProfilePolicy] = None
+
+    def __post_init__(self) -> None:
+        legacy = (self.profile_strategy != "coordinate"
+                  or self.profile_jobs != 1)
+        if self.profile is None:
+            if legacy:
+                warnings.warn(
+                    "ExperimentContext(profile_strategy=/profile_jobs=) "
+                    "is deprecated; pass profile=ProfilePolicy(strategy"
+                    "=..., jobs=...) instead",
+                    DeprecationWarning, stacklevel=3)
+            object.__setattr__(self, "profile", ProfilePolicy(
+                strategy=self.profile_strategy, jobs=self.profile_jobs))
+        else:
+            if legacy and (self.profile.strategy != self.profile_strategy
+                           or self.profile.jobs != self.profile_jobs):
+                raise ProactError(
+                    "conflicting profiler policies: profile="
+                    f"{self.profile} vs legacy profile_strategy="
+                    f"{self.profile_strategy!r}/profile_jobs="
+                    f"{self.profile_jobs}")
+            # Keep the legacy attributes mirrored so old readers work.
+            object.__setattr__(self, "profile_strategy",
+                               self.profile.strategy)
+            object.__setattr__(self, "profile_jobs", self.profile.jobs)
 
     @property
     def micro_bytes(self) -> int:
@@ -179,6 +226,8 @@ REGISTRY: Tuple[ExperimentSpec, ...] = (
                    "repro.experiments.fig10_scaling"),
     ExperimentSpec("ablations", "Ablations",
                    "repro.experiments.ablations"),
+    ExperimentSpec("ablation", "Mechanism ablation",
+                   "repro.experiments.ablation_mechanisms"),
     ExperimentSpec("utilization", "Utilization smoothing",
                    "repro.experiments.utilization"),
     ExperimentSpec("sensitivity", "Sensitivity",

@@ -58,6 +58,7 @@ from typing import List, Optional, Sequence, TextIO
 from repro.experiments.registry import (
     ExperimentContext,
     ExperimentResult,
+    ProfilePolicy,
     experiment_names,
     run_experiment,
     select_specs,
@@ -190,7 +191,9 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
             sweep_telemetry: bool = False,
             validate: bool = False,
             profile_strategy: str = "coordinate",
-            profile_jobs: int = 1) -> List[ExperimentResult]:
+            profile_jobs: int = 1,
+            profile: Optional[ProfilePolicy] = None
+            ) -> List[ExperimentResult]:
     """Run the experiment suite, printing each table as it completes.
 
     ``quick=True`` shrinks the microbenchmark data size and the profiler
@@ -207,18 +210,21 @@ def run_all(quick: bool = True, out: Optional[TextIO] = None,
     decision log alongside.  ``validate=True`` runs
     every experiment under the readiness/conservation sanitizers; a
     tripped invariant records as that experiment's failure.
-    ``profile_strategy``/``profile_jobs`` select the profiler search
-    mode and warm-worker parallelism for the sweep-driven experiments
-    (see :class:`~repro.experiments.registry.ExperimentContext`).
+    ``profile`` is the :class:`~repro.experiments.registry.ProfilePolicy`
+    selecting the profiler search mode and warm-worker parallelism for
+    the sweep-driven experiments; the ``profile_strategy``/
+    ``profile_jobs`` spellings remain as deprecated aliases.
     """
     stream = out or sys.stdout
     names = [spec.name for spec in select_specs(only)]
     observe = (trace_path is not None or metrics_path is not None
                or report_path is not None or sweep_telemetry)
+    if profile is None:
+        profile = ProfilePolicy(strategy=profile_strategy,
+                                jobs=profile_jobs)
     ctx = ExperimentContext(quick=quick, observe=observe,
                             validate=validate,
-                            profile_strategy=profile_strategy,
-                            profile_jobs=profile_jobs,
+                            profile=profile,
                             sweeps=sweep_telemetry)
 
     started = time.perf_counter()
@@ -310,8 +316,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       metrics_path=args.metrics, report_path=args.report,
                       sweep_telemetry=args.sweep_telemetry,
                       validate=args.validate,
-                      profile_strategy=args.profile_strategy,
-                      profile_jobs=args.profile_jobs)
+                      profile=ProfilePolicy(strategy=args.profile_strategy,
+                                            jobs=args.profile_jobs))
     failures = suite_failures(results)
     if failures:
         for failure in failures:

@@ -88,8 +88,8 @@ def run(platforms: Sequence[PlatformSpec] = FOUR_GPU_PLATFORMS,
 
 def experiment(ctx: ExperimentContext) -> ExperimentResult:
     """Registry entry point (see :mod:`repro.experiments.registry`)."""
-    result = run(quick=ctx.quick, search=ctx.profile_strategy,
-                 jobs=ctx.profile_jobs)
+    result = run(quick=ctx.quick, search=ctx.profile.strategy,
+                 jobs=ctx.profile.jobs)
     decoupled = sum(1 for label in result.labels.values() if label != "I")
     return ExperimentResult.build(
         "table2", "Table II", [result.table()],

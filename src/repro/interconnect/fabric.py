@@ -42,13 +42,17 @@ class Fabric:
 
     def __init__(self, engine: "Engine", spec: InterconnectSpec, num_gpus: int,
                  infinite: bool = False, quantum: int = DEFAULT_QUANTUM,
-                 gpu_base: int = 0) -> None:
+                 gpu_base: int = 0, fmt=None) -> None:
         if num_gpus < 1:
             raise ConfigurationError(f"need at least 1 GPU: {num_gpus}")
         if gpu_base < 0:
             raise ConfigurationError(f"negative GPU base: {gpu_base}")
         self.engine = engine
         self.spec = spec
+        #: Wire framing applied to every link.  Defaults to the
+        #: interconnect's protocol format; the ``packet_overhead``
+        #: ablation overrides it with a zero-overhead variant.
+        self.fmt = fmt if fmt is not None else spec.fmt
         self.num_gpus = num_gpus
         #: First global GPU id in this fabric.  A standalone system keeps
         #: the default 0; a cluster node fabric is offset so its link
@@ -71,7 +75,7 @@ class Fabric:
     # Construction
     # ------------------------------------------------------------------
     def _new_link(self, name: str, bandwidth: float) -> Link:
-        link = Link(self.engine, name, bandwidth, self.spec.fmt, self.quantum)
+        link = Link(self.engine, name, bandwidth, self.fmt, self.quantum)
         self.links.append(link)
         return link
 

@@ -121,6 +121,19 @@ class PacketFormat:
         return total
 
 
+def raw_format(fmt: PacketFormat) -> PacketFormat:
+    """``fmt`` with all protocol overhead stripped (wire == payload).
+
+    The ``packet_overhead`` ablation
+    (:class:`repro.core.config.Mechanisms`) swaps every link's framing
+    for this: zero header bytes, byte-granule payloads, the same
+    maximum payload — so transfer *schedules* are unchanged but every
+    access rides the wire at 100 % efficiency.
+    """
+    return PacketFormat(name=f"{fmt.name}-raw", header_bytes=0,
+                        payload_granule=1, max_payload=fmt.max_payload)
+
+
 #: PCIe 3.0: ~24 B of TLP header + DLLP/framing overhead per packet,
 #: 4-byte dword payload granularity, 256 B maximum payload.
 #: 4 B stores: 4 / (4 + 24) = 14.3 % goodput (paper: ~14 %).

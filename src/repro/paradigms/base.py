@@ -42,9 +42,17 @@ class Paradigm:
 
     name = "base"
 
+    #: Mechanism-ablation policy (:class:`repro.core.config.Mechanisms`)
+    #: threaded into every system this paradigm builds.  ``None`` means
+    #: all mechanisms enabled.  Constructors may accept it, and
+    #: :class:`repro.api.Session` injects its own when the paradigm did
+    #: not choose one.
+    mechanisms = None
+
     def execute(self, workload, platform: PlatformSpec) -> ParadigmResult:
         """Run ``workload`` on ``platform``; returns timing and stats."""
         system = System(platform, infinite_bw=self._wants_infinite_fabric(),
+                        mechanisms=self.mechanisms,
                         **self._system_kwargs())
         phases = workload.phase_builder()(system)
         if not phases:

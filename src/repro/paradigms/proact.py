@@ -8,16 +8,22 @@
   compile-time profiler across inline and decoupled variants and execute
   with the best configuration (the paper's headline "PROACT" numbers
   take the best of inline/decoupled per application and platform).
+
+Every paradigm accepts a ``mechanisms`` policy
+(:class:`repro.core.config.Mechanisms`) that ablates individual PROACT
+components; the default (``None``) leaves everything enabled.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.core.config import (
     DEFAULT_CONFIG,
     MECH_HARDWARE,
     MECH_INLINE,
+    Mechanisms,
     ProactConfig,
 )
 from repro.core.profiler import Profiler
@@ -32,10 +38,12 @@ class _ProactParadigmBase(Paradigm):
 
     def __init__(self, config: ProactConfig,
                  elide_transfers: bool = False,
-                 instrument: bool = True) -> None:
+                 instrument: bool = True,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         self.config = config
         self.elide_transfers = elide_transfers
         self.instrument = instrument
+        self.mechanisms = mechanisms
 
     def _drive(self, system: System, workload,
                phases: Sequence[Sequence[GpuPhaseWork]],
@@ -56,12 +64,14 @@ class ProactInlineParadigm(_ProactParadigmBase):
 
     name = "PROACT-inline"
 
-    def __init__(self, elide_transfers: bool = False) -> None:
+    def __init__(self, elide_transfers: bool = False,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         super().__init__(
             ProactConfig(MECH_INLINE, DEFAULT_CONFIG.chunk_size,
                          DEFAULT_CONFIG.transfer_threads),
             elide_transfers=elide_transfers,
-            instrument=False)
+            instrument=False,
+            mechanisms=mechanisms)
 
 
 class ProactDecoupledParadigm(_ProactParadigmBase):
@@ -71,11 +81,20 @@ class ProactDecoupledParadigm(_ProactParadigmBase):
 
     def __init__(self, config: ProactConfig = DEFAULT_CONFIG,
                  elide_transfers: bool = False,
-                 instrument: bool = True) -> None:
+                 instrument: Optional[bool] = None,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         if config.mechanism == MECH_INLINE:
             raise ValueError("decoupled paradigm needs a decoupled mechanism")
+        if instrument is not None:
+            warnings.warn(
+                "ProactDecoupledParadigm(instrument=...) is deprecated; "
+                "use mechanisms=Mechanisms(readiness_tracking=False) to "
+                "drop the tracking instrumentation (readiness overlap "
+                "included) or keep the default for the instrumented model",
+                DeprecationWarning, stacklevel=2)
         super().__init__(config, elide_transfers=elide_transfers,
-                         instrument=instrument)
+                         instrument=True if instrument is None else instrument,
+                         mechanisms=mechanisms)
 
 
 class ProactHardwareParadigm(_ProactParadigmBase):
@@ -89,31 +108,54 @@ class ProactHardwareParadigm(_ProactParadigmBase):
     name = "PROACT-HW"
 
     def __init__(self, chunk_size: int = DEFAULT_CONFIG.chunk_size,
-                 elide_transfers: bool = False) -> None:
+                 elide_transfers: bool = False,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         super().__init__(
             ProactConfig(MECH_HARDWARE, chunk_size,
                          DEFAULT_CONFIG.transfer_threads),
             elide_transfers=elide_transfers,
-            instrument=True)  # the executor skips tracking for hardware
+            instrument=True,  # the executor skips tracking for hardware
+            mechanisms=mechanisms)
 
 
 class ProactAutoParadigm(Paradigm):
-    """Full PROACT: profile first, then run the best configuration."""
+    """Full PROACT: profile first, then run the best configuration.
+
+    Honors the ``profiler_pruning`` and ``decoupled_agent`` mechanism
+    switches: with ``profiler_pruning`` ablated the profiler is skipped
+    entirely and the hard-wired :data:`~repro.core.config.DEFAULT_CONFIG`
+    runs; with ``decoupled_agent`` ablated only inline configurations
+    are considered.
+    """
 
     name = "PROACT"
 
-    def __init__(self, profiler: Optional[Profiler] = None) -> None:
+    def __init__(self, profiler: Optional[Profiler] = None,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         self._profiler = profiler
+        self.mechanisms = mechanisms
         self.chosen_config: Optional[ProactConfig] = None
 
     def execute(self, workload, platform: PlatformSpec) -> ParadigmResult:
-        profiler = self._profiler or Profiler(platform)
-        profile = profiler.profile(workload.phase_builder())
-        self.chosen_config = profile.best_config
-        if self.chosen_config.mechanism == MECH_INLINE:
-            delegate: Paradigm = ProactInlineParadigm()
+        toggles = self.mechanisms
+        if toggles is not None and not toggles.profiler_pruning:
+            # Profiler ablated: no configuration selection, run the
+            # framework default (inline if the agent is also gone).
+            if toggles.decoupled_agent:
+                self.chosen_config = DEFAULT_CONFIG
+            else:
+                self.chosen_config = ProactConfig(
+                    MECH_INLINE, DEFAULT_CONFIG.chunk_size,
+                    DEFAULT_CONFIG.transfer_threads)
         else:
-            delegate = ProactDecoupledParadigm(self.chosen_config)
+            profiler = self._profiler or Profiler(platform, toggles=toggles)
+            profile = profiler.profile(workload.phase_builder())
+            self.chosen_config = profile.best_config
+        if self.chosen_config.mechanism == MECH_INLINE:
+            delegate: Paradigm = ProactInlineParadigm(mechanisms=toggles)
+        else:
+            delegate = ProactDecoupledParadigm(self.chosen_config,
+                                               mechanisms=toggles)
         result = delegate.execute(workload, platform)
         result.paradigm = self.name
         result.details["chosen_config"] = 0.0  # presence marker

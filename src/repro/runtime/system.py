@@ -12,6 +12,7 @@ profiler run, end-to-end application — starts by building a ``System``.
 
 from __future__ import annotations
 
+import typing
 import warnings
 from typing import List, Optional
 
@@ -19,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.hw.gpu import Gpu
 from repro.hw.platform import PlatformSpec, platform_by_name
 from repro.interconnect.fabric import Fabric
+from repro.interconnect.packet import raw_format
 from repro.interconnect.link import DEFAULT_QUANTUM
 from repro.obs.capture import active as active_observation
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -27,6 +29,9 @@ from repro.sim.engine import Engine
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.validate.sanitizer import ReadinessSanitizer
 from repro.validate.scope import active as active_validation
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import Mechanisms
 
 
 class System:
@@ -47,13 +52,22 @@ class System:
                  dma_engines: int = 1,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 sanitizer: Optional[ReadinessSanitizer] = None) -> None:
+                 sanitizer: Optional[ReadinessSanitizer] = None,
+                 mechanisms: Optional[Mechanisms] = None) -> None:
         if num_gpus is not None:
             spec = spec.with_num_gpus(num_gpus)
         if dma_engines < 1:
             raise ConfigurationError(
                 f"need >= 1 DMA engine per GPU: {dma_engines}")
         self.spec = spec
+        if mechanisms is None:
+            # Imported lazily: repro.core imports this module at top level.
+            from repro.core.config import DEFAULT_MECHANISMS
+            mechanisms = DEFAULT_MECHANISMS
+        #: The mechanism-toggle policy every component of this system
+        #: consults (:class:`repro.core.config.Mechanisms`); defaults to
+        #: everything enabled.
+        self.mechanisms = mechanisms
         observation = active_observation()
         if tracer is None:
             tracer = (observation.new_tracer(spec.name)
@@ -81,9 +95,11 @@ class System:
             self.fabric: Fabric = ClusterFabric(
                 self.engine, spec, infinite=infinite_bw, quantum=quantum)
         else:
+            fmt = (None if self.mechanisms.packet_overhead
+                   else raw_format(spec.interconnect.fmt))
             self.fabric = Fabric(self.engine, spec.interconnect,
                                  spec.num_gpus, infinite=infinite_bw,
-                                 quantum=quantum)
+                                 quantum=quantum, fmt=fmt)
         self.devices: List[Device] = [
             Device(self, gpu, dma_engines=dma_engines) for gpu in self.gpus]
         self.checker = None

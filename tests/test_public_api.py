@@ -21,8 +21,10 @@ import warnings
 import pytest
 
 import repro
+import repro.ablation
 import repro.api
 from repro.api import Session
+from repro.core.config import Mechanisms
 
 SNAPSHOT_PATH = pathlib.Path(__file__).parent / "data" / "public_api.json"
 
@@ -39,7 +41,9 @@ def current_surface():
             methods[name] = "<property>"
     return {
         "repro_all": sorted(repro.__all__),
+        "repro_ablation_all": sorted(repro.ablation.__all__),
         "repro_api_all": sorted(repro.api.__all__),
+        "mechanisms": sorted(Mechanisms.component_names()),
         "session": methods,
     }
 
@@ -75,6 +79,24 @@ def test_session_is_front_door():
     assert repro.__all__[0] == "Session"
 
 
+def test_mechanisms_surface_exported():
+    """The mechanism-toggle API and ablation harness are first-class."""
+    assert "Mechanisms" in repro.__all__
+    assert "DEFAULT_MECHANISMS" in repro.__all__
+    assert repro.Mechanisms is Mechanisms
+    for name in ("AblationRun", "AblationReport", "generate_runset",
+                 "run_ablation"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(repro.ablation, name)
+
+
+def test_session_accepts_mechanisms():
+    session = Session("4x_volta",
+                      mechanisms=Mechanisms(write_coalescing=False))
+    assert session.mechanisms.ablated == ("write_coalescing",)
+    assert "write_coalescing" in repr(session)
+
+
 # ----------------------------------------------------------------------
 # Deprecation contract
 # ----------------------------------------------------------------------
@@ -98,6 +120,42 @@ def test_finish_hooks_warn_but_work():
         system.finish_observation()
     with pytest.warns(DeprecationWarning, match="Session"):
         system.finish_validation()
+
+
+def test_proact_config_validate_warns_but_works():
+    import dataclasses
+
+    from repro.core.config import DEFAULT_CONFIG
+    with pytest.warns(DeprecationWarning, match="validate=True"):
+        config = dataclasses.replace(DEFAULT_CONFIG, validate=True)
+    assert config.validate
+
+
+def test_paradigm_instrument_warns_but_works():
+    from repro.paradigms import ProactDecoupledParadigm
+    with pytest.warns(DeprecationWarning, match="readiness_tracking"):
+        paradigm = ProactDecoupledParadigm(instrument=False)
+    assert paradigm.instrument is False
+
+
+def test_context_profile_kwargs_warn_but_work():
+    from repro.experiments.registry import ExperimentContext, ProfilePolicy
+    with pytest.warns(DeprecationWarning, match="ProfilePolicy"):
+        ctx = ExperimentContext(profile_strategy="search", profile_jobs=2)
+    assert ctx.profile == ProfilePolicy(strategy="search", jobs=2)
+    # Mirrored legacy readers keep working.
+    assert ctx.profile_strategy == "search"
+    assert ctx.profile_jobs == 2
+
+
+def test_context_profile_policy_does_not_warn():
+    from repro.experiments.registry import ExperimentContext, ProfilePolicy
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ctx = ExperimentContext(
+            profile=ProfilePolicy(strategy="search", jobs=2))
+    assert ctx.profile_strategy == "search"
+    assert ctx.profile_jobs == 2
 
 
 def test_session_paths_do_not_warn():

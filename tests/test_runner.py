@@ -11,6 +11,7 @@ from repro.experiments.registry import (
     REGISTRY,
     ExperimentContext,
     ExperimentResult,
+    ProfilePolicy,
     experiment_names,
     get_spec,
     run_experiment,
@@ -29,8 +30,9 @@ FAST = ["table1", "fig2"]
 def test_registry_covers_every_experiment_module():
     names = experiment_names()
     assert names[0] == "table1"  # canonical serial order preserved
-    assert len(names) == len(set(names)) == len(REGISTRY) == 17
-    for expected in ("fig1", "fig7", "table2", "ablations", "sensitivity",
+    assert len(names) == len(set(names)) == len(REGISTRY) == 18
+    for expected in ("fig1", "fig7", "table2", "ablations", "ablation",
+                     "sensitivity",
                      "utilization", "collectives", "cluster", "autotune",
                      "service"):
         assert expected in names
@@ -251,12 +253,12 @@ def test_cli_profile_strategy_and_jobs_reach_the_context(monkeypatch):
     monkeypatch.setattr(runner, "run_all", fake_run_all)
     assert runner.main(["--only", "table2", "--profile-strategy", "search",
                         "--profile-jobs", "2"]) == 0
-    assert seen["profile_strategy"] == "search"
-    assert seen["profile_jobs"] == 2
+    assert seen["profile"] == ProfilePolicy(strategy="search", jobs=2)
 
 
 def test_context_carries_profile_strategy_defaults():
     ctx = ExperimentContext(quick=True)
+    assert ctx.profile == ProfilePolicy()
     assert ctx.profile_strategy == "coordinate"
     assert ctx.profile_jobs == 1
     assert ctx.sweeps is False
